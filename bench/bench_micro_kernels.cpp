@@ -1,0 +1,119 @@
+// Microbenchmarks of the sequential kernels (google-benchmark): the
+// building blocks whose costs calibrate the simulated machine model.
+#include <benchmark/benchmark.h>
+
+#include "core/pmc.hpp"
+
+namespace pmc {
+namespace {
+
+const Graph& shared_grid() {
+  static const Graph g = grid_2d(256, 256, WeightKind::kUniformRandom, 71);
+  return g;
+}
+
+const Graph& shared_er() {
+  static const Graph g =
+      erdos_renyi(50000, 300000, WeightKind::kUniformRandom, 72);
+  return g;
+}
+
+void BM_LocallyDominantMatching(benchmark::State& state) {
+  const Graph& g = shared_er();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locally_dominant_matching(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_LocallyDominantMatching)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyMatching(benchmark::State& state) {
+  const Graph& g = shared_er();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_matching(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_GreedyMatching)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyColoringFirstFit(benchmark::State& state) {
+  const Graph& g = shared_er();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_coloring(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_GreedyColoringFirstFit)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyColoringSmallestLast(benchmark::State& state) {
+  const Graph& g = shared_er();
+  SeqColoringOptions opts;
+  opts.ordering = OrderingKind::kSmallestLast;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_coloring(g, opts));
+  }
+}
+BENCHMARK(BM_GreedyColoringSmallestLast)->Unit(benchmark::kMillisecond);
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const Graph& g = shared_grid();
+  const auto parts = static_cast<Rank>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        multilevel_partition(g, parts, MultilevelConfig::metis_like(1)));
+  }
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_DistGraphBuild(benchmark::State& state) {
+  const Graph& g = shared_grid();
+  const Partition p = grid_2d_partition(256, 256, 8, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistGraph::build(g, p));
+  }
+}
+BENCHMARK(BM_DistGraphBuild)->Unit(benchmark::kMillisecond);
+
+void BM_DistributedMatchingSim(benchmark::State& state) {
+  const Graph& g = shared_grid();
+  const Partition p = grid_2d_partition(256, 256, 8, 8);
+  const DistGraph dist = DistGraph::build(g, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match_distributed(dist, DistMatchingOptions{}));
+  }
+}
+BENCHMARK(BM_DistributedMatchingSim)->Unit(benchmark::kMillisecond);
+
+void BM_DistributedColoringSim(benchmark::State& state) {
+  const Graph& g = shared_grid();
+  const Partition p = grid_2d_partition(256, 256, 8, 8);
+  const DistGraph dist = DistGraph::build(g, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        color_distributed(dist, DistColoringOptions::improved()));
+  }
+}
+BENCHMARK(BM_DistributedColoringSim)->Unit(benchmark::kMillisecond);
+
+void BM_ExactBipartiteMatching(benchmark::State& state) {
+  BipartiteInfo info;
+  const Graph g = random_bipartite(1000, 1000, 6000, info,
+                                   WeightKind::kUniformRandom, 73);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_max_weight_bipartite_matching(g, info));
+  }
+}
+BENCHMARK(BM_ExactBipartiteMatching)->Unit(benchmark::kMillisecond);
+
+void BM_Grid2DGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid_2d(256, 256, WeightKind::kUniformRandom, 74));
+  }
+}
+BENCHMARK(BM_Grid2DGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pmc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Table 1.1 — Quality of the half-approximation matching vs the optimal
+// solution on bipartite graphs of sparse matrices.
+//
+// The paper used six UF Sparse Matrix Collection matrices (ASIC_680k,
+// Hamrle3, rajat31, cage14, ldoor, audikw_1) and reported 99.36%-100%
+// quality. Those files are not available offline, so we build synthetic
+// stand-ins with matching *structure* (circuit netlists, FEM meshes, DNA
+// electrophoresis-style banded matrices, random rectangular) at reduced
+// scale — the exact reference solver is polynomial but not cheap. Pass a
+// Matrix Market file as a positional argument to run on real data instead.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+namespace pmc::bench {
+namespace {
+
+struct Instance {
+  std::string name;
+  Graph graph;
+  BipartiteInfo info;
+};
+
+Instance make_circuit_instance(const std::string& name, VertexId n,
+                               EdgeId edges, std::uint64_t seed) {
+  Instance inst;
+  inst.name = name;
+  const Graph base =
+      circuit_like(n, edges, 6, WeightKind::kUniformRandom, seed);
+  inst.graph = bipartite_double_cover(base, inst.info,
+                                      /*with_diagonal=*/true, seed);
+  return inst;
+}
+
+Instance make_mesh_instance(const std::string& name, VertexId side,
+                            std::uint64_t seed) {
+  Instance inst;
+  inst.name = name;
+  const Graph base = grid_2d(side, side, WeightKind::kUniformRandom, seed);
+  inst.graph = bipartite_double_cover(base, inst.info,
+                                      /*with_diagonal=*/true, seed);
+  return inst;
+}
+
+Instance make_random_instance(const std::string& name, VertexId left,
+                              VertexId right, EdgeId edges,
+                              std::uint64_t seed) {
+  Instance inst;
+  inst.name = name;
+  inst.graph = random_bipartite(left, right, edges, inst.info,
+                                WeightKind::kUniformRandom, seed);
+  return inst;
+}
+
+int run(int argc, const char** argv) {
+  Options opts;
+  opts.add("scale", "1", "size multiplier for the synthetic matrices");
+  opts.add("csv", "", "optional CSV output path");
+  const auto positional = opts.parse(argc, argv);
+  const auto scale = static_cast<VertexId>(opts.get_int("scale"));
+
+  banner("Table 1.1 — matching quality vs optimal (bipartite)",
+         "half-approximation achieves > 99% of the optimal weight on "
+         "matrix-derived bipartite graphs (guarantee: >= 50%)");
+
+  std::vector<Instance> instances;
+  if (!positional.empty()) {
+    for (const auto& path : positional) {
+      Instance inst;
+      inst.name = path;
+      const SparseMatrix m = read_matrix_market_file(path);
+      inst.graph = matrix_to_bipartite(m, inst.info);
+      instances.push_back(std::move(inst));
+    }
+  } else {
+    // Synthetic stand-ins for the paper's six matrices (scaled down).
+    instances.push_back(
+        make_circuit_instance("asic-like", 3000 * scale, 6200 * scale, 1));
+    instances.push_back(
+        make_circuit_instance("hamrle-like", 4000 * scale, 7600 * scale, 2));
+    instances.push_back(
+        make_circuit_instance("rajat-like", 5000 * scale, 10800 * scale, 3));
+    instances.push_back(make_mesh_instance("cage-like", 55 * scale, 4));
+    instances.push_back(make_mesh_instance("ldoor-like", 70 * scale, 5));
+    instances.push_back(
+        make_random_instance("rand-rect", 2500 * scale, 3000 * scale,
+                             12000 * scale, 6));
+  }
+
+  TextTable table({"Matrix", "#Vertices", "#Edges", "Quality"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  table.set_title("Table 1.1 (reproduced, synthetic stand-ins)");
+  CsvSink csv(opts.get("csv"),
+              {"matrix", "vertices", "edges", "approx", "optimal", "quality"});
+
+  for (const auto& inst : instances) {
+    const Matching approx = locally_dominant_matching(inst.graph);
+    const Matching exact =
+        exact_max_weight_bipartite_matching(inst.graph, inst.info);
+    const Weight wa = matching_weight(inst.graph, approx);
+    const Weight we = matching_weight(inst.graph, exact);
+    PMC_CHECK(we > 0, "degenerate instance");
+    const double quality = wa / we;
+    PMC_CHECK(quality >= 0.5 - 1e-12, "half-approximation bound violated");
+    table.add_row({inst.name, cell_count(inst.graph.num_vertices()),
+                   cell_count(inst.graph.num_edges()),
+                   cell_pct(quality, 2)});
+    csv.row({inst.name, std::to_string(inst.graph.num_vertices()),
+             std::to_string(inst.graph.num_edges()), std::to_string(wa),
+             std::to_string(we), std::to_string(quality)});
+  }
+  table.print(std::cout);
+  std::cout << "(paper: 99.36% - 100.00% on the six UF matrices)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pmc::bench
+
+int main(int argc, const char** argv) {
+  try {
+    return pmc::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_table_1_1: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,120 @@
+// Example: permuting large entries to the diagonal of a sparse matrix —
+// the classic matching application the paper's introduction leads with
+// ("maximizing diagonal dominance in sparse linear solvers", Duff & Koster).
+//
+// We build a random sparse matrix whose diagonal is weak, compute a
+// maximum-weight matching on its bipartite representation (both the exact
+// solver and the paper's half-approximation), derive a row permutation from
+// the matching, and report how much the diagonal product improves.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/pmc.hpp"
+
+namespace {
+
+using namespace pmc;
+
+/// Product-of-|diagonal| quality measure (log10 scale, ignoring zeros).
+double log_diagonal_product(const SparseMatrix& m,
+                            const std::vector<VertexId>& row_of) {
+  // row_of[i] = original row placed at row i after permutation; entry (r, c)
+  // lands on the diagonal iff row_of[c] == r.
+  double log_prod = 0.0;
+  VertexId nonzero_diag = 0;
+  for (EdgeId k = 0; k < m.num_entries(); ++k) {
+    const VertexId r = m.row_index[static_cast<std::size_t>(k)];
+    const VertexId c = m.col_index[static_cast<std::size_t>(k)];
+    if (row_of[static_cast<std::size_t>(c)] == r) {
+      const double v = std::abs(m.values[static_cast<std::size_t>(k)]);
+      if (v > 0) {
+        log_prod += std::log10(v);
+        ++nonzero_diag;
+      }
+    }
+  }
+  std::cout << "    structurally nonzero diagonal entries: " << nonzero_diag
+            << " / " << m.rows << "\n";
+  return log_prod;
+}
+
+std::vector<VertexId> permutation_from_matching(const SparseMatrix& m,
+                                                const Matching& match) {
+  // match.mate[row r] = m.rows + column c  =>  place row r at position c.
+  std::vector<VertexId> row_of(static_cast<std::size_t>(m.cols), kNoVertex);
+  std::vector<bool> used_row(static_cast<std::size_t>(m.rows), false);
+  for (VertexId r = 0; r < m.rows; ++r) {
+    const VertexId mate = match.mate[static_cast<std::size_t>(r)];
+    if (mate != kNoVertex) {
+      row_of[static_cast<std::size_t>(mate - m.rows)] = r;
+      used_row[static_cast<std::size_t>(r)] = true;
+    }
+  }
+  // Unmatched columns get the remaining rows arbitrarily.
+  VertexId next = 0;
+  for (auto& r : row_of) {
+    if (r != kNoVertex) continue;
+    while (next < m.rows && used_row[static_cast<std::size_t>(next)]) ++next;
+    if (next < m.rows) r = next++;
+  }
+  return row_of;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pmc;
+
+  // A square sparse matrix with strong off-diagonal entries: the identity
+  // permutation has a poor diagonal.
+  const VertexId n = 2000;
+  Rng rng(7);
+  SparseMatrix m;
+  m.rows = n;
+  m.cols = n;
+  for (VertexId r = 0; r < n; ++r) {
+    // Weak diagonal entry.
+    m.row_index.push_back(r);
+    m.col_index.push_back(r);
+    m.values.push_back(rng.uniform_double(1e-4, 1e-2));
+    // A few strong off-diagonal entries.
+    for (int k = 0; k < 4; ++k) {
+      const VertexId c = rng.uniform_int(0, n - 1);
+      if (c == r) continue;
+      m.row_index.push_back(r);
+      m.col_index.push_back(c);
+      m.values.push_back(rng.uniform_double(0.5, 10.0));
+    }
+  }
+
+  BipartiteInfo info;
+  const Graph g = matrix_to_bipartite(m, info);
+  std::cout << "matrix: " << n << " x " << n << ", nnz=" << m.num_entries()
+            << "\n\n";
+
+  std::vector<VertexId> identity(static_cast<std::size_t>(n));
+  for (VertexId i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+  std::cout << "identity permutation:\n";
+  const double before = log_diagonal_product(m, identity);
+  std::cout << "    log10(prod |a_ii|) = " << before << "\n\n";
+
+  std::cout << "half-approximation matching permutation:\n";
+  const Matching approx = locally_dominant_matching(g);
+  const double after_approx =
+      log_diagonal_product(m, permutation_from_matching(m, approx));
+  std::cout << "    log10(prod |a_ii|) = " << after_approx << "\n\n";
+
+  std::cout << "exact maximum-weight matching permutation:\n";
+  const Matching exact = exact_max_weight_bipartite_matching(g, info);
+  const double after_exact =
+      log_diagonal_product(m, permutation_from_matching(m, exact));
+  std::cout << "    log10(prod |a_ii|) = " << after_exact << "\n\n";
+
+  std::cout << "improvement (approx): " << after_approx - before
+            << " orders of magnitude\n"
+            << "gap to exact:         " << after_exact - after_approx
+            << " orders of magnitude\n";
+  return after_approx > before ? 0 : 1;
+}

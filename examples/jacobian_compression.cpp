@@ -1,0 +1,78 @@
+// Example: coloring for sparse Jacobian compression — "what color is your
+// Jacobian?" (Gebremedhin, Manne, Pothen), the derivative-computation
+// application the paper's introduction cites.
+//
+// Columns of a sparse Jacobian that share no row can be evaluated with one
+// function evaluation (finite differencing in the sum of their seed
+// directions). Structurally orthogonal columns = an independent set in the
+// column intersection graph; a distance-1 coloring of that graph (which is
+// a distance-2 coloring of the bipartite row-column graph) partitions the
+// columns into few evaluation groups.
+#include <iostream>
+#include <vector>
+
+#include "core/pmc.hpp"
+
+int main() {
+  using namespace pmc;
+
+  // Jacobian of a 1-D PDE-like operator: each row i touches columns
+  // i-2..i+2 (bandwidth 5), plus a handful of dense coupling columns.
+  const VertexId rows = 4000;
+  const VertexId cols = 4000;
+  GraphBuilder jac(rows + cols, /*weighted=*/false);
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId d = -2; d <= 2; ++d) {
+      const VertexId c = r + d;
+      if (c >= 0 && c < cols) jac.add_edge(r, rows + c);
+    }
+  }
+  const Graph bip = std::move(jac).build();
+  std::cout << "Jacobian: " << rows << " x " << cols
+            << ", nnz=" << bip.num_edges() << "\n";
+
+  // Column intersection graph: columns adjacent iff they share a row.
+  GraphBuilder cig_builder(cols, /*weighted=*/false);
+  for (VertexId r = 0; r < rows; ++r) {
+    const auto cs = bip.neighbors(r);
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      for (std::size_t j = i + 1; j < cs.size(); ++j) {
+        cig_builder.add_edge(cs[i] - rows, cs[j] - rows);
+      }
+    }
+  }
+  const Graph cig = std::move(cig_builder).build();
+  std::cout << "column intersection graph: " << cig.summary() << "\n\n";
+
+  // Color the intersection graph with several orderings; fewer colors =
+  // fewer function evaluations.
+  for (const auto& [name, ordering] :
+       {std::pair<const char*, OrderingKind>{"natural", OrderingKind::kNatural},
+        {"largest-first", OrderingKind::kLargestFirst},
+        {"smallest-last", OrderingKind::kSmallestLast},
+        {"saturation (DSATUR)", OrderingKind::kSaturation}}) {
+    SeqColoringOptions opts;
+    opts.ordering = ordering;
+    const Coloring c = greedy_coloring(cig, opts);
+    std::string why;
+    if (!is_proper_coloring(cig, c, &why)) {
+      std::cerr << "improper coloring: " << why << "\n";
+      return 1;
+    }
+    std::cout << "  " << name << ": " << c.num_colors()
+              << " function evaluations instead of " << cols
+              << "  (compression " << cols / c.num_colors() << "x)\n";
+  }
+
+  // The same result computed on 8 simulated distributed ranks.
+  const auto dist = color_on_ranks(cig, 8);
+  std::cout << "\ndistributed (8 ranks): " << dist.coloring.num_colors()
+            << " colors in " << dist.rounds << " round(s), modelled time "
+            << dist.run.sim_seconds << " s\n";
+
+  // Banded structure admits a lower bound: any row's 5 columns are mutually
+  // adjacent, so >= 5 colors are necessary; greedy should be close.
+  std::cout << "lower bound from clique: " << clique_lower_bound(cig)
+            << " colors\n";
+  return 0;
+}

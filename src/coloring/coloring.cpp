@@ -1,0 +1,64 @@
+#include "coloring/coloring.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/rng.hpp"
+
+namespace pmc {
+
+Color Coloring::num_colors() const noexcept {
+  Color max_color = -1;
+  for (Color c : color) max_color = std::max(max_color, c);
+  return max_color + 1;
+}
+
+bool is_proper_coloring(const Graph& g, const Coloring& c, std::string* why) {
+  if (c.num_vertices() != g.num_vertices()) {
+    if (why != nullptr) *why = "coloring size does not equal vertex count";
+    return false;
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (c.color[static_cast<std::size_t>(v)] < 0) {
+      if (why != nullptr) {
+        std::ostringstream oss;
+        oss << "vertex " << v << " is uncolored";
+        *why = oss.str();
+      }
+      return false;
+    }
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v &&
+          c.color[static_cast<std::size_t>(u)] ==
+              c.color[static_cast<std::size_t>(v)]) {
+        if (why != nullptr) {
+          std::ostringstream oss;
+          oss << "edge (" << v << ", " << u << ") is monochromatic with color "
+              << c.color[static_cast<std::size_t>(v)];
+          *why = oss.str();
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+EdgeId count_conflicts(const Graph& g, const Coloring& c) {
+  EdgeId conflicts = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v && c.color[static_cast<std::size_t>(u)] ==
+                       c.color[static_cast<std::size_t>(v)]) {
+        ++conflicts;
+      }
+    }
+  }
+  return conflicts;
+}
+
+std::uint64_t vertex_priority(VertexId v, std::uint64_t seed) {
+  return splitmix64(static_cast<std::uint64_t>(v) ^ splitmix64(seed));
+}
+
+}  // namespace pmc

@@ -1,0 +1,42 @@
+// Coloring result type and verification predicates.
+//
+// A distance-1 coloring assigns every vertex a color such that adjacent
+// vertices differ. Greedy first-fit uses at most Δ+1 colors; the paper's
+// parallel framework aims to match the sequential greedy color count while
+// scaling to tens of thousands of processors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+/// A vertex coloring; colors are dense non-negative integers.
+struct Coloring {
+  std::vector<Color> color;
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(color.size());
+  }
+
+  /// Number of distinct colors used (max + 1; 0 when empty/uncolored).
+  [[nodiscard]] Color num_colors() const noexcept;
+};
+
+/// True iff every vertex has a color >= 0 and no edge is monochromatic.
+[[nodiscard]] bool is_proper_coloring(const Graph& g, const Coloring& c,
+                                      std::string* why = nullptr);
+
+/// Number of conflict edges (monochromatic edges); 0 for a proper coloring.
+[[nodiscard]] EdgeId count_conflicts(const Graph& g, const Coloring& c);
+
+/// Per-vertex random priority used for conflict resolution: a SplitMix64
+/// hash of the vertex id mixed with `seed` ("a random function ... generated
+/// using v's ID as seed", paper Algorithm 4.1). Deterministic and identical
+/// on every rank without communication.
+[[nodiscard]] std::uint64_t vertex_priority(VertexId v, std::uint64_t seed);
+
+}  // namespace pmc

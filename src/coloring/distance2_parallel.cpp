@@ -1,0 +1,308 @@
+#include "coloring/distance2_parallel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "runtime/bsp_engine.hpp"
+#include "runtime/serialize.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace pmc {
+
+std::vector<Dist2RankView> build_dist2_views(const Graph& g,
+                                             const Partition& p) {
+  PMC_REQUIRE(p.num_vertices() == g.num_vertices(),
+              "graph/partition size mismatch");
+  const Rank parts = p.num_parts();
+  std::vector<Dist2RankView> views(static_cast<std::size_t>(parts));
+
+  // Owned vertices first, in global order (matching DistGraph's layout).
+  for (Rank r = 0; r < parts; ++r) {
+    views[static_cast<std::size_t>(r)].rank = r;
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto& view = views[static_cast<std::size_t>(p.owner(v))];
+    view.global_to_local.emplace(
+        v, static_cast<VertexId>(view.global_ids.size()));
+    view.global_ids.push_back(v);
+  }
+  for (auto& view : views) {
+    view.num_owned = static_cast<VertexId>(view.global_ids.size());
+  }
+
+  auto intern = [](Dist2RankView& view, VertexId global) {
+    const auto [it, inserted] = view.global_to_local.emplace(
+        global, static_cast<VertexId>(view.global_ids.size()));
+    if (inserted) view.global_ids.push_back(global);
+    return it->second;
+  };
+
+  // Distance-1 ghosts (in deterministic order of discovery).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto& view = views[static_cast<std::size_t>(p.owner(v))];
+    for (VertexId u : g.neighbors(v)) {
+      (void)intern(view, u);
+    }
+  }
+  for (auto& view : views) {
+    view.num_adjacent = static_cast<VertexId>(view.global_ids.size());
+  }
+  // Distance-2 ghosts: neighbors of the distance-1 layer.
+  for (auto& view : views) {
+    for (VertexId local = view.num_owned; local < view.num_adjacent; ++local) {
+      for (VertexId w : g.neighbors(view.global_ids[static_cast<std::size_t>(local)])) {
+        (void)intern(view, w);
+      }
+    }
+  }
+
+  // Adjacency for owned + distance-1 ghosts, rewritten to local ids.
+  for (auto& view : views) {
+    view.offsets.assign(static_cast<std::size_t>(view.num_adjacent) + 1, 0);
+    for (VertexId local = 0; local < view.num_adjacent; ++local) {
+      view.offsets[static_cast<std::size_t>(local) + 1] =
+          g.degree(view.global_ids[static_cast<std::size_t>(local)]);
+    }
+    for (std::size_t i = 1; i < view.offsets.size(); ++i) {
+      view.offsets[i] += view.offsets[i - 1];
+    }
+    view.adj.resize(static_cast<std::size_t>(view.offsets.back()));
+    std::size_t cursor = 0;
+    for (VertexId local = 0; local < view.num_adjacent; ++local) {
+      for (VertexId u :
+           g.neighbors(view.global_ids[static_cast<std::size_t>(local)])) {
+        const auto it = view.global_to_local.find(u);
+        PMC_CHECK(it != view.global_to_local.end(),
+                  "two-hop closure missed vertex " << u);
+        view.adj[cursor++] = it->second;
+      }
+    }
+  }
+
+  // Recipients: ranks owning any vertex within distance <= 2 of each owned
+  // vertex; d2-boundary classification.
+  for (auto& view : views) {
+    view.recipients.assign(static_cast<std::size_t>(view.num_owned), {});
+    std::vector<Rank> scratch;
+    for (VertexId v = 0; v < view.num_owned; ++v) {
+      scratch.clear();
+      const VertexId gv = view.global_ids[static_cast<std::size_t>(v)];
+      for (VertexId u : g.neighbors(gv)) {
+        if (p.owner(u) != view.rank) scratch.push_back(p.owner(u));
+        for (VertexId w : g.neighbors(u)) {
+          if (w != gv && p.owner(w) != view.rank) scratch.push_back(p.owner(w));
+        }
+      }
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      if (!scratch.empty()) {
+        view.d2_boundary.push_back(v);
+        view.recipients[static_cast<std::size_t>(v)] = scratch;
+      }
+    }
+  }
+  return views;
+}
+
+namespace {
+
+struct D2RankState {
+  const Dist2RankView* view = nullptr;
+  std::vector<Color> color;          // all local ids
+  std::vector<VertexId> to_color;    // owned local ids, this round
+  std::vector<VertexId> colored_d2_boundary;
+  ColorChooser chooser{ColorStrategy::kFirstFit};
+};
+
+void d2_apply_records(D2RankState& st, const BspMessage& msg) {
+  ByteReader reader(msg.payload);
+  while (!reader.done()) {
+    const auto global = reader.get<VertexId>();
+    const auto c = reader.get<Color>();
+    const auto it = st.view->global_to_local.find(global);
+    PMC_CHECK(it != st.view->global_to_local.end(),
+              "distance-2 record for vertex outside the view");
+    st.color[static_cast<std::size_t>(it->second)] = c;
+  }
+}
+
+/// First-fit over the distance-2 neighborhood; returns arcs touched.
+double d2_color_vertex(D2RankState& st, VertexId v, Color* chosen) {
+  const Dist2RankView& view = *st.view;
+  double work = 1.0;
+  for (VertexId u : view.neighbors(v)) {
+    const Color cu = st.color[static_cast<std::size_t>(u)];
+    if (cu != kNoColor) st.chooser.forbid(cu);
+    work += 1.0;
+    for (VertexId w : view.neighbors(u)) {
+      if (w == v) continue;
+      const Color cw = st.color[static_cast<std::size_t>(w)];
+      if (cw != kNoColor) st.chooser.forbid(cw);
+      work += 1.0;
+    }
+  }
+  *chosen = st.chooser.choose(nullptr);
+  return work;
+}
+
+}  // namespace
+
+DistColoringResult color_distance2_distributed_native(
+    const Graph& g, const Partition& p, const DistColoringOptions& options) {
+  PMC_REQUIRE(options.superstep_size >= 1, "superstep size must be >= 1");
+  Timer wall;
+  const auto views = build_dist2_views(g, p);
+  const Rank P = p.num_parts();
+  BspEngine engine(P, options.model);
+
+  std::vector<D2RankState> states(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    D2RankState& st = states[static_cast<std::size_t>(r)];
+    st.view = &views[static_cast<std::size_t>(r)];
+    st.color.assign(static_cast<std::size_t>(st.view->num_local()), kNoColor);
+    st.chooser = ColorChooser(options.strategy, static_cast<Color>(r));
+    st.to_color.resize(static_cast<std::size_t>(st.view->num_owned));
+    std::iota(st.to_color.begin(), st.to_color.end(), VertexId{0});
+  }
+
+  DistColoringResult result;
+  std::vector<ByteWriter> dest_payload(static_cast<std::size_t>(P));
+  std::vector<std::int64_t> dest_records(static_cast<std::size_t>(P), 0);
+  std::vector<Rank> dest_touched;
+
+  while (true) {
+    VertexId max_todo = 0;
+    for (const auto& st : states) {
+      max_todo = std::max(max_todo, static_cast<VertexId>(st.to_color.size()));
+    }
+    if (max_todo == 0) break;
+    PMC_REQUIRE(result.rounds < options.max_rounds,
+                "distance-2 coloring failed to converge in "
+                    << options.max_rounds << " rounds");
+    const VertexId steps =
+        (max_todo + options.superstep_size - 1) / options.superstep_size;
+    for (VertexId k = 0; k < steps; ++k) {
+      for (Rank r = 0; r < P; ++r) {
+        D2RankState& st = states[static_cast<std::size_t>(r)];
+        if (options.superstep_mode == SuperstepMode::kAsync) {
+          for (const BspMessage& msg : engine.poll(r)) {
+            d2_apply_records(st, msg);
+            engine.charge(r, static_cast<double>(msg.payload.size()) / 12.0);
+          }
+        }
+        const auto begin = static_cast<std::size_t>(k * options.superstep_size);
+        if (begin >= st.to_color.size()) continue;
+        const auto end =
+            std::min(st.to_color.size(),
+                     begin + static_cast<std::size_t>(options.superstep_size));
+        dest_touched.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+          const VertexId v = st.to_color[i];
+          Color chosen;
+          engine.charge(r, d2_color_vertex(st, v, &chosen));
+          st.color[static_cast<std::size_t>(v)] = chosen;
+          const auto& recipients =
+              st.view->recipients[static_cast<std::size_t>(v)];
+          if (recipients.empty()) continue;
+          st.colored_d2_boundary.push_back(v);
+          const VertexId global =
+              st.view->global_ids[static_cast<std::size_t>(v)];
+          for (Rank dst : recipients) {
+            auto& w = dest_payload[static_cast<std::size_t>(dst)];
+            if (dest_records[static_cast<std::size_t>(dst)] == 0) {
+              dest_touched.push_back(dst);
+            }
+            w.put(global);
+            w.put(chosen);
+            ++dest_records[static_cast<std::size_t>(dst)];
+          }
+        }
+        for (Rank dst : dest_touched) {
+          engine.send(r, dst, dest_payload[static_cast<std::size_t>(dst)].take(),
+                      dest_records[static_cast<std::size_t>(dst)]);
+          dest_records[static_cast<std::size_t>(dst)] = 0;
+        }
+      }
+      ++result.total_supersteps;
+      if (options.superstep_mode == SuperstepMode::kSync) {
+        engine.barrier();
+        for (Rank r = 0; r < P; ++r) {
+          for (const BspMessage& msg : engine.drain(r)) {
+            d2_apply_records(states[static_cast<std::size_t>(r)], msg);
+          }
+        }
+      }
+    }
+
+    engine.barrier();
+    for (Rank r = 0; r < P; ++r) {
+      for (const BspMessage& msg : engine.drain(r)) {
+        d2_apply_records(states[static_cast<std::size_t>(r)], msg);
+      }
+    }
+
+    // Conflict detection over distance-2 neighborhoods.
+    EdgeId recolored = 0;
+    for (Rank r = 0; r < P; ++r) {
+      D2RankState& st = states[static_cast<std::size_t>(r)];
+      const Dist2RankView& view = *st.view;
+      st.to_color.clear();
+      for (const VertexId v : st.colored_d2_boundary) {
+        const Color cv = st.color[static_cast<std::size_t>(v)];
+        const VertexId gv = view.global_ids[static_cast<std::size_t>(v)];
+        const std::uint64_t rv = vertex_priority(gv, options.seed);
+        bool lose = false;
+        double work = 1.0;
+        auto check = [&](VertexId local) {
+          if (lose) return;
+          work += 1.0;
+          if (st.color[static_cast<std::size_t>(local)] != cv) return;
+          const VertexId gu = view.global_ids[static_cast<std::size_t>(local)];
+          if (gu == gv) return;
+          const std::uint64_t ru = vertex_priority(gu, options.seed);
+          if (rv < ru || (rv == ru && gv < gu)) lose = true;
+        };
+        for (VertexId u : view.neighbors(v)) {
+          check(u);
+          if (lose) break;
+          for (VertexId w : view.neighbors(u)) {
+            if (w != v) check(w);
+            if (lose) break;
+          }
+          if (lose) break;
+        }
+        engine.charge(r, work);
+        if (lose) {
+          st.color[static_cast<std::size_t>(v)] = kNoColor;
+          st.to_color.push_back(v);
+          ++recolored;
+        }
+      }
+      st.colored_d2_boundary.clear();
+    }
+    result.conflicts_per_round.push_back(recolored);
+    ++result.rounds;
+    engine.allreduce();
+  }
+
+  result.coloring.color.assign(
+      static_cast<std::size_t>(g.num_vertices()), kNoColor);
+  for (Rank r = 0; r < P; ++r) {
+    const D2RankState& st = states[static_cast<std::size_t>(r)];
+    for (VertexId v = 0; v < st.view->num_owned; ++v) {
+      result.coloring.color[static_cast<std::size_t>(
+          st.view->global_ids[static_cast<std::size_t>(v)])] =
+          st.color[static_cast<std::size_t>(v)];
+    }
+  }
+  result.run.sim_seconds = engine.time();
+  result.run.wall_seconds = wall.seconds();
+  result.run.comm = engine.comm();
+  result.run.load = engine.load_stats();
+  result.run.rounds = result.rounds;
+  return result;
+}
+
+}  // namespace pmc

@@ -1,0 +1,307 @@
+#include "coloring/parallel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "runtime/bsp_engine.hpp"
+#include "runtime/serialize.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace pmc {
+
+DistColoringOptions DistColoringOptions::fiab() {
+  DistColoringOptions o;
+  o.superstep_size = 100;
+  o.comm_mode = CommMode::kBroadcastUnion;
+  return o;
+}
+
+DistColoringOptions DistColoringOptions::fiac() {
+  DistColoringOptions o;
+  o.superstep_size = 1000;
+  o.comm_mode = CommMode::kCustomizedAll;
+  return o;
+}
+
+DistColoringOptions DistColoringOptions::improved() {
+  DistColoringOptions o;
+  o.superstep_size = 1000;
+  o.comm_mode = CommMode::kCustomizedNeighbors;
+  return o;
+}
+
+namespace {
+
+/// Per-rank working state of the speculative coloring.
+struct RankState {
+  const LocalGraph* lg = nullptr;
+  /// Colors of owned and ghost vertices (local ids).
+  std::vector<Color> color;
+  /// Owned vertices still to be colored this round, in coloring order.
+  std::vector<VertexId> to_color;
+  /// Boundary vertices colored in the current round (for conflict detection).
+  std::vector<VertexId> colored_boundary;
+  /// For each owned boundary vertex, the sorted ranks owning its neighbors.
+  std::vector<std::vector<Rank>> adj_ranks;
+  ColorChooser chooser{ColorStrategy::kFirstFit};
+  std::vector<std::int64_t> usage;  // for kLeastUsed
+};
+
+void apply_color_records(RankState& state, const BspMessage& msg) {
+  ByteReader reader(msg.payload);
+  while (!reader.done()) {
+    const auto global = reader.get<VertexId>();
+    const auto c = reader.get<Color>();
+    const VertexId local = state.lg->local_id(global);
+    // Broadcast modes deliver records for vertices this rank has never heard
+    // of; that waste is exactly what the customized modes eliminate.
+    if (local == kNoVertex) continue;
+    state.color[static_cast<std::size_t>(local)] = c;
+  }
+}
+
+/// Colors one owned vertex first-fit (or per strategy) against the colors
+/// currently known; returns the number of arcs touched (work).
+double color_vertex(RankState& state, VertexId v, Color chosen_out[1]) {
+  const LocalGraph& lg = *state.lg;
+  for (VertexId u : lg.neighbors(v)) {
+    const Color cu = state.color[static_cast<std::size_t>(u)];
+    if (cu != kNoColor) state.chooser.forbid(cu);
+  }
+  auto* usage = state.usage.empty() ? nullptr : &state.usage;
+  chosen_out[0] = state.chooser.choose(usage);
+  return static_cast<double>(lg.degree(v)) + 1.0;
+}
+
+}  // namespace
+
+DistColoringResult color_distributed(const DistGraph& dist,
+                                     const DistColoringOptions& options) {
+  PMC_REQUIRE(options.superstep_size >= 1, "superstep size must be >= 1");
+  Timer wall;
+  const Rank P = dist.num_ranks();
+  BspEngine engine(P, options.model);
+
+  std::vector<RankState> states(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    RankState& st = states[static_cast<std::size_t>(r)];
+    const LocalGraph& lg = dist.local(r);
+    st.lg = &lg;
+    st.color.assign(static_cast<std::size_t>(lg.num_local()), kNoColor);
+    st.chooser = ColorChooser(options.strategy,
+                              /*stagger_base=*/static_cast<Color>(r));
+    if (options.strategy == ColorStrategy::kLeastUsed) {
+      st.usage.assign(1, 0);
+    }
+    // Initial coloring order within the rank.
+    switch (options.local_order) {
+      case LocalOrder::kInteriorFirst:
+        st.to_color = lg.interior_vertices();
+        st.to_color.insert(st.to_color.end(), lg.boundary_vertices().begin(),
+                           lg.boundary_vertices().end());
+        break;
+      case LocalOrder::kBoundaryFirst:
+        st.to_color = lg.boundary_vertices();
+        st.to_color.insert(st.to_color.end(), lg.interior_vertices().begin(),
+                           lg.interior_vertices().end());
+        break;
+      case LocalOrder::kNatural:
+        st.to_color.resize(static_cast<std::size_t>(lg.num_owned()));
+        std::iota(st.to_color.begin(), st.to_color.end(), VertexId{0});
+        break;
+    }
+    // Ranks adjacent to each boundary vertex (for customized messages).
+    st.adj_ranks.assign(static_cast<std::size_t>(lg.num_owned()), {});
+    for (VertexId v : lg.boundary_vertices()) {
+      std::vector<Rank>& ranks = st.adj_ranks[static_cast<std::size_t>(v)];
+      for (VertexId u : lg.neighbors(v)) {
+        if (lg.is_ghost(u)) ranks.push_back(lg.ghost_owner(u));
+      }
+      std::sort(ranks.begin(), ranks.end());
+      ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    }
+  }
+
+  DistColoringResult result;
+  const std::uint64_t seed = options.seed;
+
+  // Scratch: per-destination payloads for one superstep of one rank.
+  std::vector<ByteWriter> dest_payload(static_cast<std::size_t>(P));
+  std::vector<std::int64_t> dest_records(static_cast<std::size_t>(P), 0);
+  std::vector<Rank> dest_touched;
+
+  while (true) {
+    // ---- Tentative coloring phase -------------------------------------
+    VertexId max_todo = 0;
+    for (const auto& st : states) {
+      max_todo = std::max(max_todo, static_cast<VertexId>(st.to_color.size()));
+    }
+    if (max_todo == 0) break;
+    PMC_REQUIRE(result.rounds < options.max_rounds,
+                "coloring failed to converge in " << options.max_rounds
+                                                  << " rounds");
+    const VertexId steps =
+        (max_todo + options.superstep_size - 1) / options.superstep_size;
+    for (VertexId k = 0; k < steps; ++k) {
+      for (Rank r = 0; r < P; ++r) {
+        RankState& st = states[static_cast<std::size_t>(r)];
+        const LocalGraph& lg = *st.lg;
+        // Asynchronous receive: use whatever color information has arrived
+        // by this rank's local time.
+        if (options.superstep_mode == SuperstepMode::kAsync) {
+          for (const BspMessage& msg : engine.poll(r)) {
+            apply_color_records(st, msg);
+            engine.charge(r, static_cast<double>(msg.payload.size()) / 12.0);
+          }
+        }
+        const auto begin = static_cast<std::size_t>(k * options.superstep_size);
+        if (begin >= st.to_color.size()) continue;
+        const auto end = std::min(st.to_color.size(),
+                                  begin + static_cast<std::size_t>(
+                                              options.superstep_size));
+        dest_touched.clear();
+        ByteWriter union_payload;
+        std::int64_t union_records = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const VertexId v = st.to_color[i];
+          Color chosen;
+          engine.charge(r, color_vertex(st, v, &chosen));
+          st.color[static_cast<std::size_t>(v)] = chosen;
+          if (!lg.is_boundary(v)) continue;
+          st.colored_boundary.push_back(v);
+          const VertexId global = lg.global_id(v);
+          if (options.comm_mode == CommMode::kCustomizedNeighbors ||
+              options.comm_mode == CommMode::kCustomizedAll) {
+            for (Rank dst : st.adj_ranks[static_cast<std::size_t>(v)]) {
+              auto& w = dest_payload[static_cast<std::size_t>(dst)];
+              if (w.empty() && dest_records[static_cast<std::size_t>(dst)] == 0) {
+                dest_touched.push_back(dst);
+              }
+              w.put(global);
+              w.put(chosen);
+              ++dest_records[static_cast<std::size_t>(dst)];
+            }
+          } else {
+            union_payload.put(global);
+            union_payload.put(chosen);
+            ++union_records;
+          }
+        }
+        // Send this superstep's boundary colors.
+        switch (options.comm_mode) {
+          case CommMode::kCustomizedNeighbors:
+            for (Rank dst : dest_touched) {
+              engine.send(r, dst,
+                          dest_payload[static_cast<std::size_t>(dst)].take(),
+                          dest_records[static_cast<std::size_t>(dst)]);
+              dest_records[static_cast<std::size_t>(dst)] = 0;
+            }
+            break;
+          case CommMode::kCustomizedAll:
+            // Customized content, but a message goes to *every* other rank —
+            // empty for non-superstep-neighbors. Same count as FIAB, lower
+            // volume.
+            for (Rank dst = 0; dst < P; ++dst) {
+              if (dst == r) continue;
+              engine.send(r, dst,
+                          dest_payload[static_cast<std::size_t>(dst)].take(),
+                          dest_records[static_cast<std::size_t>(dst)]);
+              dest_records[static_cast<std::size_t>(dst)] = 0;
+            }
+            break;
+          case CommMode::kBroadcastUnion: {
+            const auto bytes = union_payload.take();
+            for (Rank dst = 0; dst < P; ++dst) {
+              if (dst == r) continue;
+              engine.send(r, dst, bytes, union_records);
+            }
+            break;
+          }
+        }
+        dest_touched.clear();
+      }
+      ++result.total_supersteps;
+      if (options.superstep_mode == SuperstepMode::kSync) {
+        engine.barrier();
+        for (Rank r = 0; r < P; ++r) {
+          for (const BspMessage& msg : engine.drain(r)) {
+            apply_color_records(states[static_cast<std::size_t>(r)], msg);
+          }
+        }
+      }
+    }
+
+    // ---- "Wait until all incoming messages are received" ---------------
+    engine.barrier();
+    for (Rank r = 0; r < P; ++r) {
+      for (const BspMessage& msg : engine.drain(r)) {
+        apply_color_records(states[static_cast<std::size_t>(r)], msg);
+      }
+    }
+
+    // ---- Conflict detection (no communication needed) ------------------
+    EdgeId recolored = 0;
+    for (Rank r = 0; r < P; ++r) {
+      RankState& st = states[static_cast<std::size_t>(r)];
+      const LocalGraph& lg = *st.lg;
+      st.to_color.clear();
+      for (const VertexId v : st.colored_boundary) {
+        engine.charge(r, static_cast<double>(lg.degree(v)));
+        const Color cv = st.color[static_cast<std::size_t>(v)];
+        const VertexId gv = lg.global_id(v);
+        bool lose = false;
+        for (VertexId u : lg.neighbors(v)) {
+          if (!lg.is_ghost(u)) continue;
+          if (st.color[static_cast<std::size_t>(u)] != cv) continue;
+          const VertexId gu = lg.global_id(u);
+          const std::uint64_t rv = vertex_priority(gv, seed);
+          const std::uint64_t ru = vertex_priority(gu, seed);
+          // Exactly one endpoint of a conflict edge recolors; both ranks
+          // evaluate the same deterministic comparison.
+          if (rv < ru || (rv == ru && gv < gu)) {
+            lose = true;
+            break;
+          }
+        }
+        if (lose) {
+          st.color[static_cast<std::size_t>(v)] = kNoColor;
+          st.to_color.push_back(v);
+          ++recolored;
+        }
+      }
+      st.colored_boundary.clear();
+    }
+    result.conflicts_per_round.push_back(recolored);
+    ++result.rounds;
+
+    // ---- Termination check ("while exists j with U_j nonempty") --------
+    engine.allreduce();
+  }
+
+  // Assemble the global coloring.
+  result.coloring.color.assign(
+      static_cast<std::size_t>(dist.num_global_vertices()), kNoColor);
+  for (Rank r = 0; r < P; ++r) {
+    const RankState& st = states[static_cast<std::size_t>(r)];
+    const LocalGraph& lg = *st.lg;
+    for (VertexId v = 0; v < lg.num_owned(); ++v) {
+      result.coloring.color[static_cast<std::size_t>(lg.global_id(v))] =
+          st.color[static_cast<std::size_t>(v)];
+    }
+  }
+  result.run.sim_seconds = engine.time();
+  result.run.wall_seconds = wall.seconds();
+  result.run.comm = engine.comm();
+  result.run.load = engine.load_stats();
+  result.run.rounds = result.rounds;
+  return result;
+}
+
+DistColoringResult color_distributed(const Graph& g, const Partition& p,
+                                     const DistColoringOptions& options) {
+  const DistGraph dist = DistGraph::build(g, p);
+  return color_distributed(dist, options);
+}
+
+}  // namespace pmc

@@ -1,0 +1,22 @@
+// Distributed verification of a coloring.
+//
+// Mirrors how an MPI code validates its result without gathering the global
+// color array: one boundary-color exchange, local checks on owned and cross
+// edges (each cross conflict counted once, by the smaller global id), and
+// an allreduce of the violation counts.
+#pragma once
+
+#include "coloring/coloring.hpp"
+#include "matching/parallel_verify.hpp"  // DistVerifyResult
+#include "runtime/dist_graph.hpp"
+#include "runtime/machine_model.hpp"
+
+namespace pmc {
+
+/// Counts uncolored vertices and monochromatic edges of `c` across the
+/// distribution using only local + exchanged boundary information.
+[[nodiscard]] DistVerifyResult verify_coloring_distributed(
+    const DistGraph& dist, const Coloring& c,
+    const MachineModel& model = MachineModel::zero_cost());
+
+}  // namespace pmc

@@ -1,0 +1,30 @@
+#include "core/api.hpp"
+
+#include "partition/multilevel.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+
+Matching match(const Graph& g) { return locally_dominant_matching(g); }
+
+DistMatchingResult match_on_ranks(const Graph& g, Rank ranks,
+                                  const DistMatchingOptions& options) {
+  PMC_REQUIRE(ranks >= 1, "need at least one rank");
+  const Partition p =
+      multilevel_partition(g, ranks, MultilevelConfig::metis_like());
+  return match_distributed(g, p, options);
+}
+
+Coloring color(const Graph& g, const SeqColoringOptions& options) {
+  return greedy_coloring(g, options);
+}
+
+DistColoringResult color_on_ranks(const Graph& g, Rank ranks,
+                                  const DistColoringOptions& options) {
+  PMC_REQUIRE(ranks >= 1, "need at least one rank");
+  const Partition p =
+      multilevel_partition(g, ranks, MultilevelConfig::metis_like());
+  return color_distributed(g, p, options);
+}
+
+}  // namespace pmc

@@ -1,0 +1,35 @@
+// High-level one-call entry points of the pmc library.
+//
+// These wrap the full pipeline (partition -> distribute -> solve -> gather)
+// for users who just want a matching or a coloring, sequentially or on a
+// chosen number of simulated ranks.
+#pragma once
+
+#include "coloring/parallel.hpp"
+#include "coloring/sequential.hpp"
+#include "graph/csr_graph.hpp"
+#include "matching/parallel.hpp"
+#include "matching/sequential.hpp"
+#include "partition/partition.hpp"
+
+namespace pmc {
+
+/// Sequential half-approximate weighted matching (locally-dominant).
+[[nodiscard]] Matching match(const Graph& g);
+
+/// Distributed matching on `ranks` simulated processors. The graph is
+/// partitioned with the multilevel partitioner (METIS-like preset) unless a
+/// partition is supplied.
+[[nodiscard]] DistMatchingResult match_on_ranks(
+    const Graph& g, Rank ranks, const DistMatchingOptions& options = {});
+
+/// Sequential greedy distance-1 coloring.
+[[nodiscard]] Coloring color(const Graph& g,
+                             const SeqColoringOptions& options = {});
+
+/// Distributed coloring on `ranks` simulated processors (multilevel
+/// partition, METIS-like preset).
+[[nodiscard]] DistColoringResult color_on_ranks(
+    const Graph& g, Rank ranks, const DistColoringOptions& options = {});
+
+}  // namespace pmc

@@ -1,0 +1,151 @@
+#include "graph/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+SparseMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  PMC_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  PMC_REQUIRE(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  PMC_REQUIRE(lower(object) == "matrix", "unsupported object '" << object << "'");
+  PMC_REQUIRE(lower(format) == "coordinate",
+              "only coordinate format is supported, got '" << format << "'");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  PMC_REQUIRE(field == "real" || field == "integer" || field == "pattern",
+              "unsupported field '" << field << "'");
+  PMC_REQUIRE(symmetry == "general" || symmetry == "symmetric",
+              "unsupported symmetry '" << symmetry << "'");
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  SparseMatrix m;
+  EdgeId nnz = 0;
+  sizes >> m.rows >> m.cols >> nnz;
+  PMC_REQUIRE(!sizes.fail() && m.rows > 0 && m.cols > 0 && nnz >= 0,
+              "malformed size line '" << line << "'");
+  m.pattern = (field == "pattern");
+  m.symmetric = (symmetry == "symmetric");
+  PMC_REQUIRE(!m.symmetric || m.rows == m.cols,
+              "symmetric matrix must be square");
+
+  m.row_index.reserve(static_cast<std::size_t>(nnz));
+  m.col_index.reserve(static_cast<std::size_t>(nnz));
+  if (!m.pattern) m.values.reserve(static_cast<std::size_t>(nnz));
+
+  for (EdgeId k = 0; k < nnz; ++k) {
+    VertexId r = 0;
+    VertexId c = 0;
+    double v = 1.0;
+    in >> r >> c;
+    if (!m.pattern) in >> v;
+    PMC_REQUIRE(!in.fail(), "malformed entry " << k + 1 << " of " << nnz);
+    PMC_REQUIRE(r >= 1 && r <= m.rows && c >= 1 && c <= m.cols,
+                "entry (" << r << ", " << c << ") out of bounds");
+    m.row_index.push_back(r - 1);
+    m.col_index.push_back(c - 1);
+    if (!m.pattern) m.values.push_back(v);
+  }
+  return m;
+}
+
+SparseMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  PMC_REQUIRE(in.is_open(), "cannot open matrix file '" << path << "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const SparseMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate "
+      << (m.pattern ? "pattern" : "real") << ' '
+      << (m.symmetric ? "symmetric" : "general") << '\n';
+  out << m.rows << ' ' << m.cols << ' ' << m.num_entries() << '\n';
+  for (EdgeId k = 0; k < m.num_entries(); ++k) {
+    out << m.row_index[static_cast<std::size_t>(k)] + 1 << ' '
+        << m.col_index[static_cast<std::size_t>(k)] + 1;
+    if (!m.pattern) out << ' ' << m.values[static_cast<std::size_t>(k)];
+    out << '\n';
+  }
+}
+
+Graph matrix_to_bipartite(const SparseMatrix& m, BipartiteInfo& info) {
+  GraphBuilder builder(m.rows + m.cols, /*weighted=*/true,
+                       DuplicatePolicy::kKeepMax);
+  // Smallest positive weight used for structurally present but zero-valued
+  // entries: keeps them matchable without letting them dominate real values.
+  constexpr Weight kEpsilonWeight = 1e-12;
+  for (EdgeId k = 0; k < m.num_entries(); ++k) {
+    const VertexId r = m.row_index[static_cast<std::size_t>(k)];
+    const VertexId c = m.col_index[static_cast<std::size_t>(k)];
+    Weight w = m.pattern ? Weight{1}
+                         : std::abs(m.values[static_cast<std::size_t>(k)]);
+    if (w == Weight{0}) w = kEpsilonWeight;
+    builder.add_edge(r, m.rows + c, w);
+    if (m.symmetric && r != c) {
+      builder.add_edge(c, m.rows + r, w);
+    }
+  }
+  info = BipartiteInfo{m.rows, m.cols};
+  return std::move(builder).build();
+}
+
+Graph matrix_to_adjacency(const SparseMatrix& m) {
+  PMC_REQUIRE(m.rows == m.cols,
+              "adjacency representation requires a square matrix");
+  GraphBuilder builder(m.rows, /*weighted=*/false,
+                       DuplicatePolicy::kKeepFirst);
+  for (EdgeId k = 0; k < m.num_entries(); ++k) {
+    const VertexId r = m.row_index[static_cast<std::size_t>(k)];
+    const VertexId c = m.col_index[static_cast<std::size_t>(k)];
+    if (r != c) builder.add_edge(r, c);  // builder symmetrizes + dedups
+  }
+  return std::move(builder).build();
+}
+
+SparseMatrix bipartite_to_matrix(const Graph& g, const BipartiteInfo& info) {
+  PMC_REQUIRE(info.num_left + info.num_right == g.num_vertices(),
+              "bipartite info inconsistent with graph size");
+  SparseMatrix m;
+  m.rows = info.num_left;
+  m.cols = info.num_right;
+  m.pattern = !g.has_weights();
+  m.symmetric = false;
+  for (VertexId r = 0; r < info.num_left; ++r) {
+    const auto nbrs = g.neighbors(r);
+    const auto ws = g.weights(r);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      PMC_REQUIRE(nbrs[i] >= info.num_left,
+                  "edge (" << r << ", " << nbrs[i] << ") stays on left side");
+      m.row_index.push_back(r);
+      m.col_index.push_back(nbrs[i] - info.num_left);
+      if (!m.pattern) m.values.push_back(ws[i]);
+    }
+  }
+  return m;
+}
+
+}  // namespace pmc

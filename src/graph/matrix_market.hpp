@@ -1,0 +1,64 @@
+// Matrix Market (.mtx) I/O and matrix-to-graph conversions.
+//
+// The paper derives its real-world inputs from University of Florida Sparse
+// Matrix Collection matrices in two ways, both reproduced here:
+//   * a bipartite graph representation (rows + columns as vertices, nonzeros
+//     as edges) — used for the matching experiments (Table 1.1, Fig 5.3);
+//   * an adjacency graph representation (pattern of A + A^T, diagonal
+//     dropped) — used for the coloring experiments (Fig 5.4).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+/// Coordinate-format sparse matrix as read from a Matrix Market file.
+struct SparseMatrix {
+  VertexId rows = 0;
+  VertexId cols = 0;
+  bool pattern = false;    ///< Pattern-only file (no values).
+  bool symmetric = false;  ///< Symmetric storage (lower triangle only).
+  std::vector<VertexId> row_index;  ///< 0-based.
+  std::vector<VertexId> col_index;  ///< 0-based.
+  std::vector<Weight> values;       ///< Empty when pattern.
+
+  [[nodiscard]] EdgeId num_entries() const noexcept {
+    return static_cast<EdgeId>(row_index.size());
+  }
+};
+
+/// Parses a Matrix Market coordinate file from a stream. Supports real /
+/// integer / pattern fields with general / symmetric symmetry. Throws
+/// pmc::Error on malformed input.
+[[nodiscard]] SparseMatrix read_matrix_market(std::istream& in);
+
+/// Parses a Matrix Market coordinate file from disk.
+[[nodiscard]] SparseMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes a matrix in Matrix Market coordinate format.
+void write_matrix_market(std::ostream& out, const SparseMatrix& m);
+
+/// Bipartite graph representation: vertex r in [0, rows) per row, vertex
+/// rows + c per column, one edge per structurally distinct nonzero. Edge
+/// weight is |value| (or 1 for pattern matrices); zero-valued entries get a
+/// tiny positive weight so they stay matchable, matching common practice in
+/// matching-based pivoting. Fills `info` with the side sizes.
+[[nodiscard]] Graph matrix_to_bipartite(const SparseMatrix& m,
+                                        BipartiteInfo& info);
+
+/// Adjacency graph representation: square matrices only; the undirected
+/// graph of the pattern of A + A^T with the diagonal removed. Weights are 1.
+[[nodiscard]] Graph matrix_to_adjacency(const SparseMatrix& m);
+
+/// Converts a generated bipartite pmc::Graph back into a SparseMatrix
+/// (used by tests to round-trip and by the quality-table harness to report
+/// matrix-style sizes).
+[[nodiscard]] SparseMatrix bipartite_to_matrix(const Graph& g,
+                                               const BipartiteInfo& info);
+
+}  // namespace pmc

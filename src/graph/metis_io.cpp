@@ -1,0 +1,103 @@
+#include "graph/metis_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+
+namespace {
+
+/// Reads the next non-comment, non-empty line; returns false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') return true;
+  }
+  return false;
+}
+
+/// Reads the next non-comment line, keeping empty lines (an isolated
+/// vertex's adjacency line is legitimately empty); false at EOF.
+bool next_adjacency_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '%') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_metis_graph(std::istream& in) {
+  std::string line;
+  PMC_REQUIRE(next_content_line(in, line), "empty METIS graph file");
+  std::istringstream header(line);
+  VertexId n = 0;
+  EdgeId m = 0;
+  std::string fmt;
+  header >> n >> m >> fmt;
+  PMC_REQUIRE(n >= 0 && m >= 0, "malformed METIS header '" << line << "'");
+  PMC_REQUIRE(fmt.empty() || fmt == "0" || fmt == "1" || fmt == "01",
+              "unsupported METIS fmt '" << fmt
+                                        << "' (vertex weights not supported)");
+  const bool edge_weights = (fmt == "1" || fmt == "01");
+
+  GraphBuilder builder(n, edge_weights, DuplicatePolicy::kKeepFirst);
+  EdgeId arcs_seen = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!next_adjacency_line(in, line)) {
+      PMC_FAIL("missing adjacency line for vertex " << v + 1);
+    }
+    std::istringstream row(line);
+    VertexId u = 0;
+    while (row >> u) {
+      PMC_REQUIRE(u >= 1 && u <= n, "neighbor " << u << " of vertex " << v + 1
+                                                << " out of range");
+      Weight w = 1;
+      if (edge_weights) {
+        PMC_REQUIRE(static_cast<bool>(row >> w),
+                    "missing edge weight for vertex " << v + 1);
+      }
+      PMC_REQUIRE(u - 1 != v, "self-loop at vertex " << v + 1);
+      ++arcs_seen;
+      if (u - 1 > v) {  // each undirected edge appears twice; keep one
+        builder.add_edge(v, u - 1, w);
+      }
+    }
+  }
+  PMC_REQUIRE(arcs_seen == 2 * m,
+              "edge count mismatch: header declares " << m << " edges but "
+                                                      << arcs_seen
+                                                      << " arcs listed");
+  Graph g = std::move(builder).build();
+  PMC_REQUIRE(g.num_edges() == m,
+              "adjacency not symmetric: " << g.num_edges()
+                                          << " distinct edges vs declared "
+                                          << m);
+  return g;
+}
+
+Graph read_metis_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  PMC_REQUIRE(in.is_open(), "cannot open METIS graph file '" << path << "'");
+  return read_metis_graph(in);
+}
+
+void write_metis_graph(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges();
+  if (g.has_weights()) out << " 1";
+  out << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (i != 0) out << ' ';
+      out << nbrs[i] + 1;
+      if (g.has_weights()) out << ' ' << ws[i];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace pmc

@@ -1,0 +1,32 @@
+// METIS/Chaco graph-format I/O.
+//
+// The paper distributes its circuit graphs with METIS/ParMETIS; the
+// ecosystem's interchange format is the METIS .graph file:
+//
+//   line 0:  <n> <m> [fmt]          (fmt: 1 = edge weights present)
+//   line v:  neighbors of vertex v (1-based), optionally interleaved with
+//            edge weights when fmt == 1.
+//
+// Comment lines start with '%'. We support the unweighted (fmt absent or
+// "0") and edge-weighted ("1") variants — vertex weights ("10"/"11") are
+// rejected explicitly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace pmc {
+
+/// Parses a METIS .graph stream. Throws pmc::Error on malformed input
+/// (bad counts, asymmetric adjacency, self-loops, out-of-range ids).
+[[nodiscard]] Graph read_metis_graph(std::istream& in);
+
+/// Parses a METIS .graph file from disk.
+[[nodiscard]] Graph read_metis_graph_file(const std::string& path);
+
+/// Writes g in METIS .graph format (with edge weights iff g has them).
+void write_metis_graph(std::ostream& out, const Graph& g);
+
+}  // namespace pmc

@@ -1,0 +1,172 @@
+#include "matching/cardinality.hpp"
+
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pmc {
+
+Matching karp_sipser_matching(const Graph& g, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  Matching m;
+  m.mate.assign(static_cast<std::size_t>(n), kNoVertex);
+  if (n == 0) return m;
+
+  std::vector<EdgeId> degree(static_cast<std::size_t>(n));
+  std::deque<VertexId> degree_one;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] = g.degree(v);
+    if (degree[static_cast<std::size_t>(v)] == 1) degree_one.push_back(v);
+  }
+  auto alive = [&m](VertexId v) {
+    return m.mate[static_cast<std::size_t>(v)] == kNoVertex;
+  };
+  // Removing a matched pair decrements the dynamic degree of all alive
+  // neighbors; fresh degree-1 vertices become forced moves.
+  auto remove_vertex = [&](VertexId v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (!alive(u)) continue;
+      auto& du = degree[static_cast<std::size_t>(u)];
+      if (du > 0 && --du == 1) degree_one.push_back(u);
+    }
+  };
+  auto match = [&](VertexId a, VertexId b) {
+    m.mate[static_cast<std::size_t>(a)] = b;
+    m.mate[static_cast<std::size_t>(b)] = a;
+    remove_vertex(a);
+    remove_vertex(b);
+  };
+  auto first_alive_neighbor = [&](VertexId v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (alive(u)) return u;
+    }
+    return kNoVertex;
+  };
+
+  // Random order for the non-forced phase.
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), VertexId{0});
+  Rng rng(derive_seed(seed, 0x4A59));
+  for (VertexId i = n - 1; i > 0; --i) {
+    const VertexId j = rng.uniform_int(0, i);
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(j)]);
+  }
+
+  std::size_t cursor = 0;
+  while (true) {
+    // Forced moves first: a degree-1 vertex must take its only edge.
+    if (!degree_one.empty()) {
+      const VertexId v = degree_one.front();
+      degree_one.pop_front();
+      if (!alive(v) || degree[static_cast<std::size_t>(v)] != 1) continue;
+      const VertexId u = first_alive_neighbor(v);
+      PMC_CHECK(u != kNoVertex, "degree accounting is inconsistent");
+      match(v, u);
+      continue;
+    }
+    // Otherwise take an arbitrary (randomized) edge.
+    while (cursor < order.size() &&
+           (!alive(order[cursor]) ||
+            degree[static_cast<std::size_t>(order[cursor])] == 0)) {
+      ++cursor;
+    }
+    if (cursor >= order.size()) break;
+    const VertexId v = order[cursor];
+    const VertexId u = first_alive_neighbor(v);
+    if (u == kNoVertex) {
+      degree[static_cast<std::size_t>(v)] = 0;
+      continue;
+    }
+    match(v, u);
+  }
+  return m;
+}
+
+Matching hopcroft_karp_bipartite(const Graph& g, const BipartiteInfo& info) {
+  PMC_REQUIRE(info.num_left + info.num_right == g.num_vertices(),
+              "bipartite info does not cover the graph");
+  const VertexId L = info.num_left;
+  for (VertexId l = 0; l < L; ++l) {
+    for (VertexId u : g.neighbors(l)) {
+      PMC_REQUIRE(u >= L, "edge (" << l << ", " << u << ") inside left side");
+    }
+  }
+  constexpr VertexId kInf = std::numeric_limits<VertexId>::max();
+  // mate_l[l] = right global id or kNoVertex; mate_r indexed by r - L.
+  std::vector<VertexId> mate_l(static_cast<std::size_t>(L), kNoVertex);
+  std::vector<VertexId> mate_r(
+      static_cast<std::size_t>(info.num_right), kNoVertex);
+  std::vector<VertexId> dist(static_cast<std::size_t>(L));
+
+  // BFS layering over free left vertices; true iff an augmenting path exists.
+  auto bfs = [&]() {
+    std::deque<VertexId> queue;
+    for (VertexId l = 0; l < L; ++l) {
+      if (mate_l[static_cast<std::size_t>(l)] == kNoVertex) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        queue.push_back(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    bool found = false;
+    while (!queue.empty()) {
+      const VertexId l = queue.front();
+      queue.pop_front();
+      for (VertexId r : g.neighbors(l)) {
+        const VertexId next = mate_r[static_cast<std::size_t>(r - L)];
+        if (next == kNoVertex) {
+          found = true;
+        } else if (dist[static_cast<std::size_t>(next)] == kInf) {
+          dist[static_cast<std::size_t>(next)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // DFS along the layering, flipping mates on success.
+  auto dfs = [&](auto&& self, VertexId l) -> bool {
+    for (VertexId r : g.neighbors(l)) {
+      const VertexId next = mate_r[static_cast<std::size_t>(r - L)];
+      if (next == kNoVertex ||
+          (dist[static_cast<std::size_t>(next)] ==
+               dist[static_cast<std::size_t>(l)] + 1 &&
+           self(self, next))) {
+        mate_l[static_cast<std::size_t>(l)] = r;
+        mate_r[static_cast<std::size_t>(r - L)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = kInf;  // dead end this phase
+    return false;
+  };
+
+  while (bfs()) {
+    for (VertexId l = 0; l < L; ++l) {
+      if (mate_l[static_cast<std::size_t>(l)] == kNoVertex) {
+        (void)dfs(dfs, l);
+      }
+    }
+  }
+
+  Matching m;
+  m.mate.assign(static_cast<std::size_t>(g.num_vertices()), kNoVertex);
+  for (VertexId l = 0; l < L; ++l) {
+    const VertexId r = mate_l[static_cast<std::size_t>(l)];
+    if (r != kNoVertex) {
+      m.mate[static_cast<std::size_t>(l)] = r;
+      m.mate[static_cast<std::size_t>(r)] = l;
+    }
+  }
+  return m;
+}
+
+}  // namespace pmc

@@ -1,0 +1,32 @@
+// Maximum-cardinality matching algorithms.
+//
+// The paper contrasts its maximum-*weight* problem with the maximum
+// (cardinality) matching work of Patwary, Bisseling & Manne (§3.3). For
+// completeness — and because cardinality matching is the natural baseline
+// when weights are uniform — this module provides:
+//
+//   * karp_sipser_matching — the classic degree-1-first greedy heuristic:
+//     matching a degree-1 vertex with its only neighbor is always safe
+//     (some maximum matching contains such an edge); otherwise a random
+//     edge is taken. Near-optimal on sparse random graphs, O(|E|).
+//   * hopcroft_karp_bipartite — exact maximum-cardinality matching on
+//     bipartite graphs in O(|E| sqrt(|V|)) via shortest augmenting-path
+//     phases.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace pmc {
+
+/// Karp-Sipser greedy maximum-cardinality matching heuristic (any graph).
+[[nodiscard]] Matching karp_sipser_matching(const Graph& g,
+                                            std::uint64_t seed = 0);
+
+/// Exact maximum-cardinality matching on a bipartite graph (Hopcroft-Karp).
+[[nodiscard]] Matching hopcroft_karp_bipartite(const Graph& g,
+                                               const BipartiteInfo& info);
+
+}  // namespace pmc

@@ -1,0 +1,127 @@
+#include "matching/exact_bipartite.hpp"
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+Matching exact_max_weight_bipartite_matching(const Graph& g,
+                                             const BipartiteInfo& info) {
+  PMC_REQUIRE(info.num_left + info.num_right == g.num_vertices(),
+              "bipartite info does not cover the graph");
+  const VertexId L = info.num_left;
+  const VertexId R = info.num_right;
+  for (VertexId l = 0; l < L; ++l) {
+    for (VertexId u : g.neighbors(l)) {
+      PMC_REQUIRE(u >= L, "edge (" << l << ", " << u << ") inside left side");
+    }
+  }
+
+  // mate_l[l] = right index in [0, R) or -1; mate_r[r] = left index or -1.
+  std::vector<VertexId> mate_l(static_cast<std::size_t>(L), kNoVertex);
+  std::vector<VertexId> mate_r(static_cast<std::size_t>(R), kNoVertex);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Node indexing for the SPFA: left nodes [0, L), right nodes [L, L+R).
+  std::vector<double> dist(static_cast<std::size_t>(L + R));
+  std::vector<VertexId> pred_right(static_cast<std::size_t>(R));  // left idx
+  std::vector<bool> in_queue(static_cast<std::size_t>(L + R));
+
+  while (true) {
+    // SPFA from all free left vertices; edge costs are -w forward
+    // (augmenting across an unmatched edge gains w) and +w backward across
+    // matched edges (removing them loses w). No negative cycles exist:
+    // a cycle alternates matched/unmatched edges and a negative one would
+    // contradict the optimality of previous augmentations.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(in_queue.begin(), in_queue.end(), false);
+    std::fill(pred_right.begin(), pred_right.end(), kNoVertex);
+    std::deque<VertexId> queue;
+    for (VertexId l = 0; l < L; ++l) {
+      if (mate_l[static_cast<std::size_t>(l)] == kNoVertex) {
+        dist[static_cast<std::size_t>(l)] = 0.0;
+        queue.push_back(l);
+        in_queue[static_cast<std::size_t>(l)] = true;
+      }
+    }
+    while (!queue.empty()) {
+      const VertexId node = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<std::size_t>(node)] = false;
+      if (node < L) {
+        // Left node: relax across unmatched incident edges.
+        const VertexId l = node;
+        const auto nbrs = g.neighbors(l);
+        const auto ws = g.weights(l);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const VertexId r = nbrs[i] - L;
+          if (mate_l[static_cast<std::size_t>(l)] == r) continue;
+          const Weight w = g.has_weights() ? ws[i] : Weight{1};
+          const double nd = dist[static_cast<std::size_t>(l)] - w;
+          if (nd < dist[static_cast<std::size_t>(L + r)] - 1e-15) {
+            dist[static_cast<std::size_t>(L + r)] = nd;
+            pred_right[static_cast<std::size_t>(r)] = l;
+            if (!in_queue[static_cast<std::size_t>(L + r)]) {
+              queue.push_back(L + r);
+              in_queue[static_cast<std::size_t>(L + r)] = true;
+            }
+          }
+        }
+      } else {
+        // Right node: relax backward across its matched edge (if any).
+        const VertexId r = node - L;
+        const VertexId l = mate_r[static_cast<std::size_t>(r)];
+        if (l == kNoVertex) continue;
+        const Weight w = g.edge_weight(l, L + r);
+        const double nd = dist[static_cast<std::size_t>(L + r)] + w;
+        if (nd < dist[static_cast<std::size_t>(l)] - 1e-15) {
+          dist[static_cast<std::size_t>(l)] = nd;
+          if (!in_queue[static_cast<std::size_t>(l)]) {
+            queue.push_back(l);
+            in_queue[static_cast<std::size_t>(l)] = true;
+          }
+        }
+      }
+    }
+
+    // Choose the free right vertex with the most profitable path.
+    VertexId best_r = kNoVertex;
+    double best = -1e-12;  // must be strictly profitable
+    for (VertexId r = 0; r < R; ++r) {
+      if (mate_r[static_cast<std::size_t>(r)] != kNoVertex) continue;
+      const double d = dist[static_cast<std::size_t>(L + r)];
+      if (d < best) {
+        best = d;
+        best_r = r;
+      }
+    }
+    if (best_r == kNoVertex) break;  // no augmenting path adds weight
+
+    // Flip mates along the augmenting path.
+    VertexId r = best_r;
+    while (r != kNoVertex) {
+      const VertexId l = pred_right[static_cast<std::size_t>(r)];
+      PMC_CHECK(l != kNoVertex, "broken augmenting path");
+      const VertexId next_r = mate_l[static_cast<std::size_t>(l)];
+      mate_l[static_cast<std::size_t>(l)] = r;
+      mate_r[static_cast<std::size_t>(r)] = l;
+      r = next_r;
+    }
+  }
+
+  Matching m;
+  m.mate.assign(static_cast<std::size_t>(g.num_vertices()), kNoVertex);
+  for (VertexId l = 0; l < L; ++l) {
+    const VertexId r = mate_l[static_cast<std::size_t>(l)];
+    if (r != kNoVertex) {
+      m.mate[static_cast<std::size_t>(l)] = L + r;
+      m.mate[static_cast<std::size_t>(L + r)] = l;
+    }
+  }
+  return m;
+}
+
+}  // namespace pmc

@@ -1,0 +1,22 @@
+// Exact maximum-weight bipartite matching — the reference against which the
+// half-approximation's quality is measured (paper Table 1.1).
+//
+// Successive shortest augmenting paths on the residual graph with SPFA
+// (Bellman-Ford with a queue): each iteration finds the most profitable
+// augmenting path and stops when no augmenting path increases the total
+// weight. Exact for any non-negative weights; intended for the moderate
+// problem sizes of the quality study, not for billion-edge graphs.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace pmc {
+
+/// Computes a maximum-weight matching of a bipartite graph. `info` declares
+/// the two sides (as produced by matrix_to_bipartite / random_bipartite).
+/// Throws if g has an edge inside one side.
+[[nodiscard]] Matching exact_max_weight_bipartite_matching(
+    const Graph& g, const BipartiteInfo& info);
+
+}  // namespace pmc

@@ -1,0 +1,116 @@
+#include "matching/matching.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+namespace {
+
+void explain(std::string* why, const std::string& message) {
+  if (why != nullptr) *why = message;
+}
+
+}  // namespace
+
+VertexId Matching::cardinality() const noexcept {
+  VertexId pairs = 0;
+  for (std::size_t v = 0; v < mate.size(); ++v) {
+    if (mate[v] != kNoVertex && mate[v] > static_cast<VertexId>(v)) ++pairs;
+  }
+  return pairs;
+}
+
+bool is_valid_matching(const Graph& g, const Matching& m, std::string* why) {
+  if (m.num_vertices() != g.num_vertices()) {
+    explain(why, "matching size does not equal vertex count");
+    return false;
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId u = m.mate[static_cast<std::size_t>(v)];
+    if (u == kNoVertex) continue;
+    std::ostringstream oss;
+    if (u < 0 || u >= g.num_vertices()) {
+      oss << "mate(" << v << ") = " << u << " out of range";
+      explain(why, oss.str());
+      return false;
+    }
+    if (u == v) {
+      oss << "vertex " << v << " matched to itself";
+      explain(why, oss.str());
+      return false;
+    }
+    if (m.mate[static_cast<std::size_t>(u)] != v) {
+      oss << "asymmetric mates: mate(" << v << ")=" << u << " but mate(" << u
+          << ")=" << m.mate[static_cast<std::size_t>(u)];
+      explain(why, oss.str());
+      return false;
+    }
+    if (!g.has_edge(v, u)) {
+      oss << "matched pair (" << v << ", " << u << ") is not an edge";
+      explain(why, oss.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Weight matching_weight(const Graph& g, const Matching& m) {
+  PMC_REQUIRE(m.num_vertices() == g.num_vertices(),
+              "matching/graph size mismatch");
+  Weight total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId u = m.mate[static_cast<std::size_t>(v)];
+    if (u != kNoVertex && u > v) {
+      total += g.edge_weight(v, u);
+    }
+  }
+  return total;
+}
+
+bool is_maximal_matching(const Graph& g, const Matching& m) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (m.is_matched(v)) continue;
+    for (VertexId u : g.neighbors(v)) {
+      if (!m.is_matched(u)) return false;  // edge (v, u) could be added
+    }
+  }
+  return true;
+}
+
+bool has_dominance_certificate(const Graph& g, const Matching& m,
+                               std::string* why) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (u < v) continue;  // each edge once
+      if (m.mate[static_cast<std::size_t>(v)] == u) continue;  // in M
+      const Weight w = g.has_weights() ? ws[i] : Weight{1};
+      // Edge (v, u) not in M: one endpoint must carry a matched edge of
+      // weight >= w.
+      bool dominated = false;
+      for (VertexId end : {v, u}) {
+        const VertexId mate = m.mate[static_cast<std::size_t>(end)];
+        if (mate != kNoVertex && g.edge_weight(end, mate) >= w) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        if (why != nullptr) {
+          std::ostringstream oss;
+          oss << "edge (" << v << ", " << u << ") with weight " << w
+              << " is not dominated by any adjacent matched edge";
+          *why = oss.str();
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pmc

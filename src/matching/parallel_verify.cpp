@@ -1,0 +1,127 @@
+#include "matching/parallel_verify.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/bsp_engine.hpp"
+#include "runtime/serialize.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace pmc {
+
+DistVerifyResult verify_matching_distributed(const DistGraph& dist,
+                                             const Matching& m,
+                                             const MachineModel& model) {
+  PMC_REQUIRE(m.num_vertices() == dist.num_global_vertices(),
+              "matching size does not match the distributed graph");
+  Timer wall;
+  const Rank P = dist.num_ranks();
+  BspEngine engine(P, model);
+
+  // Phase 1: every rank ships (vertex, mate) for its boundary vertices to
+  // each neighboring rank — the information receivers need about ghosts.
+  for (Rank r = 0; r < P; ++r) {
+    const LocalGraph& lg = dist.local(r);
+    std::unordered_map<Rank, ByteWriter> out;
+    std::unordered_map<Rank, std::int64_t> records;
+    std::vector<Rank> scratch_ranks;
+    for (const VertexId v : lg.boundary_vertices()) {
+      const VertexId gv = lg.global_id(v);
+      const VertexId mate = m.mate[static_cast<std::size_t>(gv)];
+      engine.charge(r, static_cast<double>(lg.degree(v)));
+      scratch_ranks.clear();
+      for (VertexId u : lg.neighbors(v)) {
+        if (lg.is_ghost(u)) scratch_ranks.push_back(lg.ghost_owner(u));
+      }
+      std::sort(scratch_ranks.begin(), scratch_ranks.end());
+      scratch_ranks.erase(
+          std::unique(scratch_ranks.begin(), scratch_ranks.end()),
+          scratch_ranks.end());
+      for (Rank dst : scratch_ranks) {
+        out[dst].put(gv);
+        out[dst].put(mate);
+        ++records[dst];
+      }
+    }
+    for (auto& [dst, writer] : out) {
+      engine.send(r, dst, writer.take(), records[dst]);
+    }
+  }
+  engine.barrier();
+
+  // Phase 2: verify with local + ghost information only.
+  std::int64_t violations = 0;
+  for (Rank r = 0; r < P; ++r) {
+    const LocalGraph& lg = dist.local(r);
+    // Ghost mate table from the received records.
+    std::unordered_map<VertexId, VertexId> ghost_mate;
+    for (const BspMessage& msg : engine.drain(r)) {
+      ByteReader reader(msg.payload);
+      while (!reader.done()) {
+        const auto gv = reader.get<VertexId>();
+        const auto mate = reader.get<VertexId>();
+        ghost_mate[gv] = mate;
+      }
+    }
+    auto mate_of_local = [&](VertexId local) {
+      const VertexId global = lg.global_id(local);
+      if (!lg.is_ghost(local)) {
+        return m.mate[static_cast<std::size_t>(global)];
+      }
+      const auto it = ghost_mate.find(global);
+      PMC_CHECK(it != ghost_mate.end(),
+                "boundary exchange missed ghost " << global);
+      return it->second;
+    };
+
+    for (VertexId v = 0; v < lg.num_owned(); ++v) {
+      engine.charge(r, static_cast<double>(lg.degree(v)) + 1.0);
+      const VertexId gv = lg.global_id(v);
+      const VertexId mate = m.mate[static_cast<std::size_t>(gv)];
+      if (mate != kNoVertex) {
+        // The mate must be a neighbor (locally checkable: all of v's edges
+        // are stored on v's owner) and must point back.
+        const VertexId mate_local = lg.local_id(mate);
+        bool is_neighbor = false;
+        if (mate_local != kNoVertex) {
+          for (VertexId u : lg.neighbors(v)) {
+            if (u == mate_local) {
+              is_neighbor = true;
+              break;
+            }
+          }
+        }
+        if (!is_neighbor) {
+          ++violations;  // matched to a non-edge (count at the owner)
+        } else if (mate_of_local(mate_local) != gv) {
+          // Symmetry violation: count once, at the smaller global id.
+          if (gv < mate) ++violations;
+        }
+      } else {
+        // Maximality: an unmatched owned vertex may not have an unmatched
+        // neighbor. Every free-free edge is counted once, at the endpoint
+        // with the smaller global id (both sides can evaluate the test).
+        for (VertexId u : lg.neighbors(v)) {
+          const VertexId gu = lg.global_id(u);
+          if (gv < gu && mate_of_local(u) == kNoVertex) {
+            ++violations;
+            break;
+          }
+        }
+      }
+    }
+  }
+  engine.allreduce();
+
+  DistVerifyResult result;
+  result.violations = violations;
+  result.run.sim_seconds = engine.time();
+  result.run.wall_seconds = wall.seconds();
+  result.run.comm = engine.comm();
+  result.run.load = engine.load_stats();
+  return result;
+}
+
+}  // namespace pmc

@@ -1,0 +1,142 @@
+#include "matching/sequential.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+Matching greedy_matching(const Graph& g) {
+  struct E {
+    Weight w;
+    VertexId u;
+    VertexId v;
+  };
+  std::vector<E> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v) {
+        edges.push_back(E{g.has_weights() ? ws[i] : Weight{1}, v, nbrs[i]});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const E& a, const E& b) {
+    if (a.w != b.w) return a.w > b.w;
+    return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+  });
+  Matching m;
+  m.mate.assign(static_cast<std::size_t>(g.num_vertices()), kNoVertex);
+  for (const E& e : edges) {
+    if (m.mate[static_cast<std::size_t>(e.u)] == kNoVertex &&
+        m.mate[static_cast<std::size_t>(e.v)] == kNoVertex) {
+      m.mate[static_cast<std::size_t>(e.u)] = e.v;
+      m.mate[static_cast<std::size_t>(e.v)] = e.u;
+    }
+  }
+  return m;
+}
+
+namespace {
+
+/// Shared implementation of the candidate-mate (pointer) algorithm.
+Matching locally_dominant_impl(const Graph& g, SequentialMatchingStats* stats) {
+  const VertexId n = g.num_vertices();
+  Matching m;
+  m.mate.assign(static_cast<std::size_t>(n), kNoVertex);
+  if (n == 0) return m;
+
+  // Per-vertex arc order: by weight descending, ties by smallest neighbor
+  // label (the paper's tie-breaking rule).
+  std::vector<EdgeId> arc_order(static_cast<std::size_t>(g.num_arcs()));
+  std::iota(arc_order.begin(), arc_order.end(), EdgeId{0});
+  for (VertexId v = 0; v < n; ++v) {
+    const auto b = g.offset_begin(v);
+    const auto e = g.offset_end(v);
+    std::sort(arc_order.begin() + b, arc_order.begin() + e,
+              [&g](EdgeId x, EdgeId y) {
+                const Weight wx = g.arc_weight(x);
+                const Weight wy = g.arc_weight(y);
+                if (wx != wy) return wx > wy;
+                return g.arc_target(x) < g.arc_target(y);
+              });
+  }
+
+  std::vector<EdgeId> ptr(static_cast<std::size_t>(n), 0);
+  std::vector<VertexId> cand(static_cast<std::size_t>(n), kNoVertex);
+
+  auto alive = [&m](VertexId u) {
+    return m.mate[static_cast<std::size_t>(u)] == kNoVertex;
+  };
+  // Advances v's pointer past dead candidates and returns the new candidate
+  // (kNoVertex when exhausted).
+  auto recompute = [&](VertexId v) {
+    const auto deg = g.degree(v);
+    auto& p = ptr[static_cast<std::size_t>(v)];
+    while (p < deg) {
+      const VertexId u = g.arc_target(
+          arc_order[static_cast<std::size_t>(g.offset_begin(v) + p)]);
+      if (alive(u)) break;
+      ++p;
+      if (stats != nullptr) ++stats->pointer_advances;
+    }
+    cand[static_cast<std::size_t>(v)] =
+        p < deg ? g.arc_target(arc_order[static_cast<std::size_t>(
+                      g.offset_begin(v) + p)])
+                : kNoVertex;
+    return cand[static_cast<std::size_t>(v)];
+  };
+
+  std::deque<VertexId> matched_queue;
+  auto match = [&](VertexId a, VertexId b) {
+    m.mate[static_cast<std::size_t>(a)] = b;
+    m.mate[static_cast<std::size_t>(b)] = a;
+    matched_queue.push_back(a);
+    matched_queue.push_back(b);
+  };
+
+  for (VertexId v = 0; v < n; ++v) {
+    recompute(v);  // initial candidate: heaviest neighbor
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId c = cand[static_cast<std::size_t>(v)];
+    if (c != kNoVertex && alive(v) && alive(c) &&
+        cand[static_cast<std::size_t>(c)] == v && c > v) {
+      match(v, c);  // locally dominant edge (reciprocal candidates)
+    }
+  }
+
+  while (!matched_queue.empty()) {
+    const VertexId x = matched_queue.front();
+    matched_queue.pop_front();
+    for (VertexId u : g.neighbors(x)) {
+      if (stats != nullptr) ++stats->arc_touches;
+      if (!alive(u) || cand[static_cast<std::size_t>(u)] != x) continue;
+      const VertexId c = recompute(u);
+      if (c != kNoVertex && alive(c) && cand[static_cast<std::size_t>(c)] == u) {
+        match(u, c);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Matching locally_dominant_matching(const Graph& g) {
+  return locally_dominant_impl(g, nullptr);
+}
+
+Matching locally_dominant_matching_with_stats(const Graph& g,
+                                              SequentialMatchingStats& stats) {
+  stats = SequentialMatchingStats{};
+  return locally_dominant_impl(g, &stats);
+}
+
+}  // namespace pmc

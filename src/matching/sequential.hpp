@@ -1,0 +1,38 @@
+// Sequential half-approximation matching algorithms.
+//
+// Two equivalent constructions of the locally-dominant matching:
+//   * greedy_matching — global greedy: sort all edges by weight and take
+//     them greedily. O(E log E). The textbook baseline.
+//   * locally_dominant_matching — the candidate-mate (pointer) algorithm of
+//     Preis / Hoepman / Manne-Bisseling that the paper parallelizes
+//     (Section 3.1). O(E log Δ) after per-vertex sorting; O(E) expected for
+//     uniform random weights.
+//
+// With a consistent total order on edges (weight, then endpoint labels) both
+// produce the same matching; ties are broken by the smallest vertex label,
+// exactly as the paper prescribes.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace pmc {
+
+/// Global greedy matching over edges sorted by (weight desc, endpoint ids).
+[[nodiscard]] Matching greedy_matching(const Graph& g);
+
+/// Candidate-mate locally-dominant matching (the algorithm of paper §3.1).
+[[nodiscard]] Matching locally_dominant_matching(const Graph& g);
+
+/// Work counters for the locally-dominant algorithm (used to calibrate the
+/// simulated cost model and by the microbenchmarks).
+struct SequentialMatchingStats {
+  std::int64_t pointer_advances = 0;
+  std::int64_t arc_touches = 0;
+};
+
+/// As locally_dominant_matching, also reporting work counters.
+[[nodiscard]] Matching locally_dominant_matching_with_stats(
+    const Graph& g, SequentialMatchingStats& stats);
+
+}  // namespace pmc

@@ -1,0 +1,88 @@
+#include "matching/vertex_weighted.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "matching/exact_bipartite.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+
+Weight vertex_matching_weight(const Matching& m,
+                              std::span<const Weight> vertex_w) {
+  PMC_REQUIRE(vertex_w.size() == m.mate.size(),
+              "vertex weight arity mismatch");
+  Weight total = 0;
+  for (std::size_t v = 0; v < m.mate.size(); ++v) {
+    if (m.mate[v] != kNoVertex) total += vertex_w[v];
+  }
+  return total;
+}
+
+Matching vertex_weighted_greedy_matching(const Graph& g,
+                                         std::span<const Weight> vertex_w) {
+  const VertexId n = g.num_vertices();
+  PMC_REQUIRE(static_cast<VertexId>(vertex_w.size()) == n,
+              "vertex weight arity mismatch");
+  for (const Weight w : vertex_w) {
+    PMC_REQUIRE(w >= 0, "vertex weights must be non-negative");
+  }
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (vertex_w[static_cast<std::size_t>(a)] !=
+        vertex_w[static_cast<std::size_t>(b)]) {
+      return vertex_w[static_cast<std::size_t>(a)] >
+             vertex_w[static_cast<std::size_t>(b)];
+    }
+    return a < b;
+  });
+
+  Matching m;
+  m.mate.assign(static_cast<std::size_t>(n), kNoVertex);
+  for (const VertexId v : order) {
+    if (m.mate[static_cast<std::size_t>(v)] != kNoVertex) continue;
+    // Heaviest unmatched neighbor; ties to the smallest label.
+    VertexId best = kNoVertex;
+    for (VertexId u : g.neighbors(v)) {
+      if (m.mate[static_cast<std::size_t>(u)] != kNoVertex) continue;
+      if (best == kNoVertex ||
+          vertex_w[static_cast<std::size_t>(u)] >
+              vertex_w[static_cast<std::size_t>(best)] ||
+          (vertex_w[static_cast<std::size_t>(u)] ==
+               vertex_w[static_cast<std::size_t>(best)] &&
+           u < best)) {
+        best = u;
+      }
+    }
+    if (best != kNoVertex) {
+      m.mate[static_cast<std::size_t>(v)] = best;
+      m.mate[static_cast<std::size_t>(best)] = v;
+    }
+  }
+  return m;
+}
+
+Matching exact_max_vertex_weight_bipartite(const Graph& g,
+                                           const BipartiteInfo& info,
+                                           std::span<const Weight> vertex_w) {
+  PMC_REQUIRE(static_cast<VertexId>(vertex_w.size()) == g.num_vertices(),
+              "vertex weight arity mismatch");
+  // Reduce to edge-weighted: matching edge (u, v) earns w(u) + w(v).
+  GraphBuilder builder(g.num_vertices(), /*weighted=*/true);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        builder.add_edge(v, u,
+                         vertex_w[static_cast<std::size_t>(v)] +
+                             vertex_w[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  const Graph reduced = std::move(builder).build();
+  return exact_max_weight_bipartite_matching(reduced, info);
+}
+
+}  // namespace pmc

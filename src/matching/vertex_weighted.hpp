@@ -1,0 +1,40 @@
+// Vertex-weighted matching.
+//
+// The paper's general matching algorithm is detailed in Halappanavar's
+// thesis "Algorithms for vertex-weighted matching in graphs" (the paper's
+// reference [9]). In the vertex-weighted problem each vertex carries a
+// weight and the objective is to maximize the total weight of *matched
+// vertices* (equivalently, edge weights w(u) + w(v)).
+//
+// Provided here:
+//   * vertex_weighted_greedy_matching — heaviest-vertex-first greedy: each
+//     unmatched vertex (in non-increasing weight order) matches its
+//     heaviest unmatched neighbor. Guarantees >= 1/2 of the optimum and is
+//     locally dominant under the induced edge weights.
+//   * exact_max_vertex_weight_bipartite — exact solution on bipartite
+//     graphs by reduction to maximum edge-weight matching with
+//     w'(u, v) = w(u) + w(v).
+#pragma once
+
+#include <span>
+
+#include "graph/csr_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace pmc {
+
+/// Total weight of matched vertices.
+[[nodiscard]] Weight vertex_matching_weight(const Matching& m,
+                                            std::span<const Weight> vertex_w);
+
+/// Heaviest-vertex-first greedy vertex-weighted matching (any graph).
+/// `vertex_w` must have one non-negative entry per vertex.
+[[nodiscard]] Matching vertex_weighted_greedy_matching(
+    const Graph& g, std::span<const Weight> vertex_w);
+
+/// Exact maximum vertex-weight matching on a bipartite graph.
+[[nodiscard]] Matching exact_max_vertex_weight_bipartite(
+    const Graph& g, const BipartiteInfo& info,
+    std::span<const Weight> vertex_w);
+
+}  // namespace pmc

@@ -1,0 +1,65 @@
+#include "partition/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "partition/simple.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+
+void write_partition(std::ostream& out, const Partition& p) {
+  for (VertexId v = 0; v < p.num_vertices(); ++v) {
+    out << p.owner(v) << '\n';
+  }
+}
+
+Partition read_partition(std::istream& in, Rank num_parts) {
+  std::vector<Rank> owner;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream row(line);
+    long long id = -1;
+    row >> id;
+    PMC_REQUIRE(!row.fail(), "malformed partition line '" << line << "'");
+    PMC_REQUIRE(id >= 0 && id < (1LL << 30),
+                "part id " << id << " out of range");
+    owner.push_back(static_cast<Rank>(id));
+  }
+  PMC_REQUIRE(!owner.empty(), "empty partition file");
+  Rank parts = num_parts;
+  if (parts <= 0) {
+    parts = 0;
+    for (Rank r : owner) parts = std::max(parts, r);
+    parts += 1;
+  }
+  return Partition(parts, std::move(owner));
+}
+
+Partition read_partition_file(const std::string& path, Rank num_parts) {
+  std::ifstream in(path);
+  PMC_REQUIRE(in.is_open(), "cannot open partition file '" << path << "'");
+  return read_partition(in, num_parts);
+}
+
+Partition rcm_block_partition(const Graph& g, Rank parts) {
+  PMC_REQUIRE(parts >= 1, "need at least one part");
+  PMC_REQUIRE(static_cast<VertexId>(parts) <=
+                  std::max<VertexId>(1, g.num_vertices()),
+              "more parts than vertices");
+  const auto perm = reverse_cuthill_mckee(g);  // perm[old] = new position
+  const VertexId n = g.num_vertices();
+  std::vector<Rank> owner(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    // Slice the RCM positions into contiguous blocks.
+    owner[static_cast<std::size_t>(v)] = static_cast<Rank>(
+        (static_cast<__int128>(perm[static_cast<std::size_t>(v)]) * parts) /
+        std::max<VertexId>(1, n));
+  }
+  return Partition(parts, std::move(owner));
+}
+
+}  // namespace pmc

@@ -1,0 +1,69 @@
+#include "partition/simple.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pmc {
+
+Partition block_partition(VertexId num_vertices, Rank parts) {
+  PMC_REQUIRE(parts >= 1, "need at least one part");
+  std::vector<Rank> owner(static_cast<std::size_t>(num_vertices));
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    // floor(v * parts / n) keeps parts contiguous and balanced within 1.
+    owner[static_cast<std::size_t>(v)] = static_cast<Rank>(
+        (static_cast<__int128>(v) * parts) / std::max<VertexId>(1, num_vertices));
+  }
+  return Partition(parts, std::move(owner));
+}
+
+Partition cyclic_partition(VertexId num_vertices, Rank parts) {
+  PMC_REQUIRE(parts >= 1, "need at least one part");
+  std::vector<Rank> owner(static_cast<std::size_t>(num_vertices));
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    owner[static_cast<std::size_t>(v)] = static_cast<Rank>(v % parts);
+  }
+  return Partition(parts, std::move(owner));
+}
+
+Partition random_partition(VertexId num_vertices, Rank parts,
+                           std::uint64_t seed) {
+  PMC_REQUIRE(parts >= 1, "need at least one part");
+  Rng rng(derive_seed(seed, 0x9A27));
+  std::vector<Rank> owner(static_cast<std::size_t>(num_vertices));
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    owner[static_cast<std::size_t>(v)] =
+        static_cast<Rank>(rng.uniform_int(0, parts - 1));
+  }
+  return Partition(parts, std::move(owner));
+}
+
+Partition grid_2d_partition(VertexId rows, VertexId cols, Rank pr, Rank pc) {
+  PMC_REQUIRE(rows >= 1 && cols >= 1, "grid dims must be positive");
+  PMC_REQUIRE(pr >= 1 && pc >= 1, "processor grid dims must be positive");
+  PMC_REQUIRE(pr <= rows && pc <= cols,
+              "processor grid " << pr << "x" << pc
+                                << " larger than vertex grid " << rows << "x"
+                                << cols);
+  const VertexId block_r = (rows + pr - 1) / pr;
+  const VertexId block_c = (cols + pc - 1) / pc;
+  std::vector<Rank> owner(static_cast<std::size_t>(rows * cols));
+  for (VertexId i = 0; i < rows; ++i) {
+    const auto bi = static_cast<Rank>(i / block_r);
+    for (VertexId j = 0; j < cols; ++j) {
+      const auto bj = static_cast<Rank>(j / block_c);
+      owner[static_cast<std::size_t>(i * cols + j)] = bi * pc + bj;
+    }
+  }
+  return Partition(pr * pc, std::move(owner));
+}
+
+void factor_processor_grid(Rank parts, Rank& pr, Rank& pc) {
+  PMC_REQUIRE(parts >= 1, "need at least one part");
+  pr = 1;
+  for (Rank d = 1; static_cast<long long>(d) * d <= parts; ++d) {
+    if (parts % d == 0) pr = d;
+  }
+  pc = parts / pr;
+}
+
+}  // namespace pmc

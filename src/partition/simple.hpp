@@ -1,0 +1,37 @@
+// Simple (non-optimizing) partitions: block, cyclic, random, and the exact
+// uniform 2-D grid distribution the paper uses for the grid-graph
+// experiments ("the grid graphs were generated in parallel, distributed in a
+// two-dimensional fashion among the available processors").
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "partition/partition.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+/// Contiguous 1-D block partition: vertex v goes to part v * k / n.
+[[nodiscard]] Partition block_partition(VertexId num_vertices, Rank parts);
+
+/// Cyclic partition: vertex v goes to part v mod k (worst-case locality;
+/// useful as an adversarial input in tests).
+[[nodiscard]] Partition cyclic_partition(VertexId num_vertices, Rank parts);
+
+/// Uniform random partition.
+[[nodiscard]] Partition random_partition(VertexId num_vertices, Rank parts,
+                                         std::uint64_t seed);
+
+/// Uniform 2-D distribution of a rows×cols grid graph onto a pr×pc processor
+/// grid (pr*pc parts; vertex (i, j) goes to processor
+/// (i / ceil(rows/pr), j / ceil(cols/pc))). Vertex id = i * cols + j, as
+/// produced by grid_2d().
+[[nodiscard]] Partition grid_2d_partition(VertexId rows, VertexId cols,
+                                          Rank pr, Rank pc);
+
+/// Chooses a near-square processor-grid factorization pr*pc = parts with
+/// pr <= pc and pr as large as possible.
+void factor_processor_grid(Rank parts, Rank& pr, Rank& pc);
+
+}  // namespace pmc

@@ -1,0 +1,95 @@
+// Superstep-structured simulated runtime — the stand-in for the BSP-flavored
+// communication pattern of the parallel coloring framework.
+//
+// Unlike EventEngine (fully asynchronous, message-driven), BspEngine is
+// driven *by* the algorithm: the driver loops over ranks and supersteps,
+// charging work and sending messages, and the engine tracks virtual clocks,
+// in-flight messages, FIFO channels and collective costs. Two receive
+// primitives mirror the paper's sync/async superstep modes:
+//
+//   * poll(r)   — deliver only messages whose modelled arrival time is
+//                 <= rank r's current clock (asynchronous supersteps: a rank
+//                 proceeds with whatever color information has arrived);
+//   * barrier() — advance every rank to the global completion time of all
+//                 in-flight messages ("wait until all incoming messages are
+//                 successfully received"), then drain(r) hands them over.
+//
+// allreduce() models the termination check at the end of each coloring round.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/comm_stats.hpp"
+#include "runtime/machine_model.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+/// One delivered BSP message.
+struct BspMessage {
+  Rank src = kNoRank;
+  double arrival = 0.0;
+  std::vector<std::byte> payload;
+};
+
+/// Simulated BSP communication layer over `num_ranks` virtual processors.
+class BspEngine {
+ public:
+  BspEngine(Rank num_ranks, MachineModel model);
+
+  [[nodiscard]] Rank num_ranks() const noexcept {
+    return static_cast<Rank>(clocks_.size());
+  }
+
+  /// Advances rank r's clock by work_units * seconds_per_work.
+  void charge(Rank r, double work_units);
+
+  /// Sends payload from src to dst; arrival is modelled with the alpha-beta
+  /// cost and FIFO per-channel ordering. `records` counts algorithm records
+  /// for statistics.
+  void send(Rank src, Rank dst, std::vector<std::byte> payload,
+            std::int64_t records);
+
+  /// Delivers messages to r whose arrival time has passed r's clock.
+  [[nodiscard]] std::vector<BspMessage> poll(Rank r);
+
+  /// Global synchronization: every rank's clock advances to the maximum of
+  /// all clocks and all in-flight arrivals, plus the collective cost.
+  void barrier();
+
+  /// Delivers all pending messages for r regardless of time (call after
+  /// barrier()).
+  [[nodiscard]] std::vector<BspMessage> drain(Rank r);
+
+  /// Models an allreduce (used for the "any rank still has work" check).
+  /// Synchronizes all clocks like barrier() and adds the collective cost.
+  void allreduce();
+
+  /// Current virtual time of rank r.
+  [[nodiscard]] double now(Rank r) const;
+
+  /// Modelled parallel time so far (max over rank clocks).
+  [[nodiscard]] double time() const;
+
+  [[nodiscard]] const CommStats& comm() const noexcept { return comm_; }
+  [[nodiscard]] const MachineModel& model() const noexcept { return model_; }
+
+  /// Per-rank charged-compute distribution (load balance). Barriers
+  /// synchronize the clocks, so this — not `now()` — is the balance signal.
+  [[nodiscard]] LoadStats load_stats() const;
+
+ private:
+  MachineModel model_;
+  std::vector<double> clocks_;
+  std::vector<double> compute_seconds_;
+  /// Pending (undelivered) messages per destination, FIFO by arrival.
+  std::vector<std::deque<BspMessage>> inboxes_;
+  std::unordered_map<std::uint64_t, double> channel_last_arrival_;
+  CommStats comm_;
+};
+
+}  // namespace pmc

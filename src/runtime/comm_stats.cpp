@@ -1,0 +1,21 @@
+#include "runtime/comm_stats.hpp"
+
+#include <sstream>
+
+namespace pmc {
+
+std::string CommStats::to_string() const {
+  std::ostringstream oss;
+  oss << "msgs=" << messages << " bytes=" << bytes << " records=" << records
+      << " collectives=" << collectives;
+  return oss.str();
+}
+
+std::string RunResult::to_string() const {
+  std::ostringstream oss;
+  oss << "sim=" << sim_seconds << "s wall=" << wall_seconds << "s rounds="
+      << rounds << " [" << comm.to_string() << "]";
+  return oss.str();
+}
+
+}  // namespace pmc

@@ -1,0 +1,50 @@
+// Communication and run statistics reported by the simulated runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pmc {
+
+/// Message traffic counters accumulated over a run.
+struct CommStats {
+  std::int64_t messages = 0;  ///< Point-to-point messages sent.
+  std::int64_t bytes = 0;     ///< Payload + envelope bytes sent.
+  std::int64_t records = 0;   ///< Algorithm-level records inside messages.
+  std::int64_t collectives = 0;  ///< Barriers / allreduces performed.
+
+  void operator+=(const CommStats& other) noexcept {
+    messages += other.messages;
+    bytes += other.bytes;
+    records += other.records;
+    collectives += other.collectives;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Distribution of per-rank *compute* time (charged work only, excluding
+/// waits) — the load-balance view of a run.
+struct LoadStats {
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double mean_seconds = 0.0;
+
+  /// max / mean; 1.0 = perfectly balanced (and for empty runs).
+  [[nodiscard]] double imbalance() const noexcept {
+    return mean_seconds > 0.0 ? max_seconds / mean_seconds : 1.0;
+  }
+};
+
+/// Outcome of a simulated distributed run.
+struct RunResult {
+  double sim_seconds = 0.0;   ///< Modelled parallel time (max rank clock).
+  double wall_seconds = 0.0;  ///< Real time the simulation itself took.
+  CommStats comm;
+  LoadStats load;             ///< Per-rank compute-time distribution.
+  int rounds = 0;             ///< Algorithm-level outer rounds (if meaningful).
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace pmc

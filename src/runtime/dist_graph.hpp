@@ -1,0 +1,157 @@
+// Distributed view of a partitioned graph: one LocalGraph per rank.
+//
+// Mirrors the paper's data distribution: "A boundary vertex u is stored on
+// its corresponding processor p(u) as well as on every other processor p(v)
+// such that (u, v) is a cross edge. On processor p(v) vertex u represents a
+// ghost vertex."
+//
+// Per rank we store:
+//   * the owned vertices (local ids [0, num_owned)), with full adjacency in
+//     CSR form referring to local ids;
+//   * ghost vertices (local ids [num_owned, num_local)) with their global id
+//     and owning rank but no adjacency;
+//   * the interior/boundary classification of owned vertices and the sorted
+//     list of neighboring ranks.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "partition/partition.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+/// One rank's share of a distributed graph.
+class LocalGraph {
+ public:
+  [[nodiscard]] Rank rank() const noexcept { return rank_; }
+  [[nodiscard]] VertexId num_owned() const noexcept { return num_owned_; }
+  [[nodiscard]] VertexId num_ghosts() const noexcept {
+    return static_cast<VertexId>(global_ids_.size()) - num_owned_;
+  }
+  [[nodiscard]] VertexId num_local() const noexcept {
+    return static_cast<VertexId>(global_ids_.size());
+  }
+
+  [[nodiscard]] bool is_ghost(VertexId local) const noexcept {
+    return local >= num_owned_;
+  }
+
+  [[nodiscard]] VertexId global_id(VertexId local) const {
+    return global_ids_[static_cast<std::size_t>(local)];
+  }
+
+  /// Local id of a global vertex; kNoVertex when not present on this rank.
+  [[nodiscard]] VertexId local_id(VertexId global) const {
+    const auto it = global_to_local_.find(global);
+    return it == global_to_local_.end() ? kNoVertex : it->second;
+  }
+
+  /// Owning rank of a local ghost vertex.
+  [[nodiscard]] Rank ghost_owner(VertexId local) const {
+    return ghost_owner_[static_cast<std::size_t>(local - num_owned_)];
+  }
+
+  /// True iff owned vertex `local` has a neighbor on another rank.
+  [[nodiscard]] bool is_boundary(VertexId local) const {
+    return is_boundary_[static_cast<std::size_t>(local)];
+  }
+
+  [[nodiscard]] EdgeId degree(VertexId local) const {
+    return offsets_[static_cast<std::size_t>(local) + 1] -
+           offsets_[static_cast<std::size_t>(local)];
+  }
+
+  /// Neighbors (as local ids) of an owned vertex.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId local) const {
+    const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(local)]);
+    const auto e = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(local) + 1]);
+    return {adj_.data() + b, e - b};
+  }
+
+  /// Edge weights aligned with neighbors(local).
+  [[nodiscard]] std::span<const Weight> weights(VertexId local) const {
+    const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(local)]);
+    const auto e = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(local) + 1]);
+    return {weights_.data() + b, e - b};
+  }
+
+  [[nodiscard]] EdgeId offset_begin(VertexId local) const {
+    return offsets_[static_cast<std::size_t>(local)];
+  }
+  [[nodiscard]] EdgeId offset_end(VertexId local) const {
+    return offsets_[static_cast<std::size_t>(local) + 1];
+  }
+  [[nodiscard]] VertexId arc_target(EdgeId e) const {
+    return adj_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] Weight arc_weight(EdgeId e) const {
+    return weights_.empty() ? Weight{1} : weights_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] bool has_weights() const noexcept { return !weights_.empty(); }
+
+  /// Ranks owning at least one ghost (sorted, unique).
+  [[nodiscard]] const std::vector<Rank>& neighbor_ranks() const noexcept {
+    return neighbor_ranks_;
+  }
+
+  /// Owned interior vertices (no cross edges), in local-id order.
+  [[nodiscard]] const std::vector<VertexId>& interior_vertices() const noexcept {
+    return interior_;
+  }
+  /// Owned boundary vertices, in local-id order.
+  [[nodiscard]] const std::vector<VertexId>& boundary_vertices() const noexcept {
+    return boundary_;
+  }
+
+  /// Number of cross edges incident to this rank's owned vertices.
+  [[nodiscard]] EdgeId num_cross_edges() const noexcept { return cross_edges_; }
+
+ private:
+  friend class DistGraph;
+  Rank rank_ = 0;
+  VertexId num_owned_ = 0;
+  std::vector<VertexId> global_ids_;
+  std::unordered_map<VertexId, VertexId> global_to_local_;
+  std::vector<EdgeId> offsets_;   // over owned vertices only
+  std::vector<VertexId> adj_;     // local ids (owned or ghost)
+  std::vector<Weight> weights_;
+  std::vector<Rank> ghost_owner_;
+  std::vector<bool> is_boundary_;
+  std::vector<Rank> neighbor_ranks_;
+  std::vector<VertexId> interior_;
+  std::vector<VertexId> boundary_;
+  EdgeId cross_edges_ = 0;
+};
+
+/// The complete distributed graph: all ranks' local views.
+class DistGraph {
+ public:
+  /// Splits `g` according to `p`. The graph and partition must agree on the
+  /// vertex count.
+  static DistGraph build(const Graph& g, const Partition& p);
+
+  [[nodiscard]] Rank num_ranks() const noexcept {
+    return static_cast<Rank>(locals_.size());
+  }
+
+  [[nodiscard]] const LocalGraph& local(Rank r) const {
+    return locals_[static_cast<std::size_t>(r)];
+  }
+
+  [[nodiscard]] VertexId num_global_vertices() const noexcept {
+    return num_global_vertices_;
+  }
+
+  /// Re-checks the distribution invariants (ghost symmetry, edge
+  /// conservation, ownership consistency) against the original inputs.
+  void validate(const Graph& g, const Partition& p) const;
+
+ private:
+  std::vector<LocalGraph> locals_;
+  VertexId num_global_vertices_ = 0;
+};
+
+}  // namespace pmc

@@ -1,0 +1,164 @@
+#include "runtime/event_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace pmc {
+
+Rank EventContext::num_ranks() const noexcept { return engine_->num_ranks(); }
+
+void EventContext::charge(double work_units) noexcept {
+  const double seconds = engine_->model_.compute_seconds(work_units);
+  engine_->clocks_[static_cast<std::size_t>(rank_)] += seconds;
+  engine_->compute_seconds_[static_cast<std::size_t>(rank_)] += seconds;
+}
+
+void EventContext::send(Rank dst, std::vector<std::byte> payload,
+                        std::int64_t records) {
+  engine_->enqueue(rank_, dst, std::move(payload), records);
+}
+
+double EventContext::now() const noexcept {
+  return engine_->clocks_[static_cast<std::size_t>(rank_)];
+}
+
+EventEngine::EventEngine(MachineModel model, double jitter_seconds,
+                         std::uint64_t jitter_seed)
+    : model_(std::move(model)),
+      jitter_seconds_(jitter_seconds),
+      jitter_seed_(jitter_seed) {
+  PMC_REQUIRE(jitter_seconds >= 0.0, "negative jitter");
+}
+
+Rank EventEngine::add_process(std::unique_ptr<Process> process) {
+  PMC_REQUIRE(process != nullptr, "null process");
+  PMC_REQUIRE(!ran_, "cannot add processes after run()");
+  processes_.push_back(std::move(process));
+  clocks_.push_back(0.0);
+  compute_seconds_.push_back(0.0);
+  return static_cast<Rank>(processes_.size()) - 1;
+}
+
+void EventEngine::enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
+                          std::int64_t records) {
+  PMC_REQUIRE(dst >= 0 && dst < num_ranks(), "send to invalid rank " << dst);
+  PMC_REQUIRE(dst != src, "send to self (rank " << src << ")");
+  // Sender pays the per-message software overhead (LogP "o") before the
+  // message enters the network — the cost message bundling amortizes.
+  clocks_[static_cast<std::size_t>(src)] += model_.send_overhead;
+  const double send_time = clocks_[static_cast<std::size_t>(src)];
+  double arrival =
+      send_time + model_.message_seconds(static_cast<double>(payload.size()));
+  if (jitter_seconds_ > 0.0) {
+    const std::uint64_t h = splitmix64(jitter_seed_ ^ splitmix64(next_seq_));
+    arrival += jitter_seconds_ * static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  // FIFO per channel: a message may not overtake an earlier one on the same
+  // (src, dst) pair (MPI non-overtaking rule).
+  const std::uint64_t channel = (static_cast<std::uint64_t>(
+                                     static_cast<std::uint32_t>(src))
+                                 << 32) |
+                                static_cast<std::uint32_t>(dst);
+  auto [it, inserted] = channel_last_arrival_.try_emplace(channel, arrival);
+  if (!inserted) {
+    arrival = std::max(arrival, it->second);
+    it->second = arrival;
+  }
+
+  comm_.messages += 1;
+  comm_.bytes += static_cast<std::int64_t>(payload.size()) +
+                 static_cast<std::int64_t>(model_.header_bytes);
+  comm_.records += records;
+
+  Event ev;
+  ev.time = arrival;
+  ev.seq = next_seq_++;
+  ev.src = src;
+  ev.dst = dst;
+  ev.payload = std::move(payload);
+  queue_.push(std::move(ev));
+}
+
+RunResult EventEngine::run() {
+  PMC_REQUIRE(!ran_, "EventEngine::run() may only be called once");
+  PMC_REQUIRE(!processes_.empty(), "no processes registered");
+  ran_ = true;
+  Timer wall;
+
+  for (Rank r = 0; r < num_ranks(); ++r) {
+    EventContext ctx(*this, r);
+    processes_[static_cast<std::size_t>(r)]->start(ctx);
+  }
+
+  while (true) {
+    while (!queue_.empty()) {
+      // priority_queue::top is const; the payload move is safe because the
+      // element is popped immediately after.
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      auto& clock = clocks_[static_cast<std::size_t>(ev.dst)];
+      clock = std::max(clock, ev.time);
+      EventContext ctx(*this, ev.dst);
+      processes_[static_cast<std::size_t>(ev.dst)]->handle(ctx, ev.src,
+                                                           ev.payload);
+    }
+    bool all_done = true;
+    for (const auto& p : processes_) {
+      if (!p->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+
+    // Quiescent but unfinished: give stuck ranks a chance to make progress.
+    // Progress = new messages or a done-state change; otherwise deadlock.
+    const std::uint64_t seq_before = next_seq_;
+    Rank done_before = 0;
+    for (const auto& p : processes_) {
+      if (p->done()) ++done_before;
+    }
+    for (Rank r = 0; r < num_ranks(); ++r) {
+      if (!processes_[static_cast<std::size_t>(r)]->done()) {
+        EventContext ctx(*this, r);
+        processes_[static_cast<std::size_t>(r)]->idle(ctx);
+      }
+    }
+    Rank done_after = 0;
+    for (const auto& p : processes_) {
+      if (p->done()) ++done_after;
+    }
+    if (queue_.empty() && next_seq_ == seq_before && done_after == done_before) {
+      std::ostringstream oss;
+      oss << "distributed computation deadlocked; unfinished ranks:";
+      int listed = 0;
+      for (Rank r = 0; r < num_ranks() && listed < 8; ++r) {
+        if (!processes_[static_cast<std::size_t>(r)]->done()) {
+          oss << " [rank " << r << ": "
+              << processes_[static_cast<std::size_t>(r)]->debug_state() << "]";
+          ++listed;
+        }
+      }
+      PMC_FAIL(oss.str());
+    }
+  }
+
+  RunResult result;
+  result.sim_seconds = *std::max_element(clocks_.begin(), clocks_.end());
+  result.wall_seconds = wall.seconds();
+  result.comm = comm_;
+  const auto [mn, mx] =
+      std::minmax_element(compute_seconds_.begin(), compute_seconds_.end());
+  result.load.min_seconds = *mn;
+  result.load.max_seconds = *mx;
+  double total = 0.0;
+  for (double s : compute_seconds_) total += s;
+  result.load.mean_seconds = total / static_cast<double>(num_ranks());
+  return result;
+}
+
+}  // namespace pmc

@@ -1,0 +1,151 @@
+// Asynchronous discrete-event engine — the simulated stand-in for MPI
+// point-to-point communication.
+//
+// Each logical rank is a Process (a message-driven state machine). The
+// engine owns one virtual clock per rank and a global event queue ordered by
+// arrival time. Semantics:
+//
+//   * Process::start(ctx) runs once per rank; computation advances the
+//     rank's clock via ctx.charge(work_units).
+//   * ctx.send(dst, payload) timestamps the message with the sender's
+//     current clock; arrival = send + latency + beta * (payload + header).
+//     Delivery is FIFO per (src, dst) channel, like MPI's non-overtaking
+//     guarantee. An optional deterministic jitter perturbs cross-channel
+//     delivery order (used by tests to exercise the arrival-order
+//     sensitivity discussed around the paper's Fig 3.1).
+//   * The engine pops events globally in (time, sequence) order and invokes
+//     Process::handle on the destination, after advancing that rank's clock
+//     to at least the arrival time.
+//   * When the queue drains and some rank reports !done(), the engine calls
+//     Process::idle once per such rank; if that generates no messages and
+//     ranks are still unfinished, the run aborts with a deadlock diagnostic.
+//
+// The modelled parallel time of a run is the maximum rank clock at
+// completion — what the paper's "compute time" plots show.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/comm_stats.hpp"
+#include "runtime/machine_model.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+class EventEngine;
+
+/// Per-rank API surface handed to Process callbacks.
+class EventContext {
+ public:
+  [[nodiscard]] Rank rank() const noexcept { return rank_; }
+  [[nodiscard]] Rank num_ranks() const noexcept;
+
+  /// Advances this rank's virtual clock by work_units * seconds_per_work.
+  void charge(double work_units) noexcept;
+
+  /// Sends a payload to dst; `records` is the number of algorithm-level
+  /// records inside (statistics only).
+  void send(Rank dst, std::vector<std::byte> payload, std::int64_t records);
+
+  /// Current virtual time of this rank.
+  [[nodiscard]] double now() const noexcept;
+
+ private:
+  friend class EventEngine;
+  EventContext(EventEngine& engine, Rank rank) : engine_(&engine), rank_(rank) {}
+  EventEngine* engine_;
+  Rank rank_;
+};
+
+/// A rank's algorithm state machine.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Initial computation; runs once before any message delivery.
+  virtual void start(EventContext& ctx) = 0;
+
+  /// Delivery of one message.
+  virtual void handle(EventContext& ctx, Rank src,
+                      std::span<const std::byte> payload) = 0;
+
+  /// Called when the system is quiescent but this rank is not done. May send
+  /// messages to make progress. Default: no-op.
+  virtual void idle(EventContext& ctx) { (void)ctx; }
+
+  /// True once this rank's part of the computation is complete.
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// One-line state description for deadlock diagnostics.
+  [[nodiscard]] virtual std::string debug_state() const { return "?"; }
+};
+
+/// Discrete-event scheduler over a set of rank Processes.
+class EventEngine {
+ public:
+  /// `jitter_seconds` > 0 adds a deterministic pseudo-random delay in
+  /// [0, jitter_seconds) to each message arrival (per-message, derived from
+  /// `jitter_seed`), exercising alternative delivery interleavings.
+  EventEngine(MachineModel model, double jitter_seconds = 0.0,
+              std::uint64_t jitter_seed = 0);
+
+  /// Registers a rank process; ranks are numbered in registration order.
+  Rank add_process(std::unique_ptr<Process> process);
+
+  [[nodiscard]] Rank num_ranks() const noexcept {
+    return static_cast<Rank>(processes_.size());
+  }
+
+  /// Runs to completion; throws pmc::Error on deadlock. Returns the run
+  /// result (modelled time = max rank clock).
+  RunResult run();
+
+  /// Access to a rank's process (e.g. to extract results after run()).
+  [[nodiscard]] Process& process(Rank r) { return *processes_[static_cast<std::size_t>(r)]; }
+
+  [[nodiscard]] const MachineModel& model() const noexcept { return model_; }
+
+ private:
+  friend class EventContext;
+
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Rank src = kNoRank;
+    Rank dst = kNoRank;
+    std::vector<std::byte> payload;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;  // min-heap on time
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
+               std::int64_t records);
+
+  MachineModel model_;
+  double jitter_seconds_;
+  std::uint64_t jitter_seed_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<double> clocks_;
+  /// Charged compute seconds per rank (load-balance statistics).
+  std::vector<double> compute_seconds_;
+  /// Last scheduled arrival per (src, dst) channel, enforcing FIFO order.
+  /// Sparse map: rank pairs that actually communicate are few (graph
+  /// neighbors), while a dense P*P array would not scale to 16k ranks.
+  std::unordered_map<std::uint64_t, double> channel_last_arrival_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 0;
+  CommStats comm_;
+  bool ran_ = false;
+};
+
+}  // namespace pmc

@@ -1,0 +1,9 @@
+#include "runtime/serialize.hpp"
+
+// Header-only; this TU exists to compile the header under library warnings.
+namespace pmc {
+namespace {
+static_assert(sizeof(ByteWriter) > 0);
+static_assert(sizeof(ByteReader) > 0);
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,75 @@
+// Byte-level message serialization.
+//
+// Algorithm-level records (REQUEST/SUCCEEDED/FAILED for matching, color
+// updates for coloring) are packed into flat byte payloads with ByteWriter
+// and decoded with ByteReader. Only trivially copyable types are supported;
+// the encoding is native-endian (messages never leave the process — the
+// runtime is a simulation).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+/// Appends trivially copyable values to a growing byte buffer.
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteWriter only supports trivially copyable types");
+    const auto old = bytes_.size();
+    bytes_.resize(old + sizeof(T));
+    std::memcpy(bytes_.data() + old, &value, sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+
+  /// Releases the buffer (writer becomes empty).
+  [[nodiscard]] std::vector<std::byte> take() noexcept {
+    return std::move(bytes_);
+  }
+
+  void clear() noexcept { bytes_.clear(); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Sequentially decodes values from a byte payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) noexcept
+      : bytes_(bytes) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteReader only supports trivially copyable types");
+    PMC_CHECK(pos_ + sizeof(T) <= bytes_.size(),
+              "message underflow: need " << sizeof(T) << " bytes at offset "
+                                         << pos_ << " of " << bytes_.size());
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pmc

@@ -1,0 +1,40 @@
+#include "support/csv.hpp"
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  PMC_REQUIRE(out_.is_open(), "cannot open CSV file '" << path << "'");
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.close();
+  }
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace pmc

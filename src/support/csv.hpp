@@ -1,0 +1,35 @@
+// Minimal CSV writer used by the benchmark harness to dump machine-readable
+// series next to the human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pmc {
+
+/// Writes rows of string cells as RFC-4180-ish CSV (quotes cells containing
+/// comma, quote or newline).
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws pmc::Error if it cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; called by the destructor as well.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV cell.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace pmc

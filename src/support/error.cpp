@@ -1,0 +1,19 @@
+#include "support/error.hpp"
+
+namespace pmc::detail {
+
+void throw_error(const char* kind, const char* expr,
+                 const std::string& message, std::source_location where) {
+  std::ostringstream oss;
+  oss << "pmc " << kind << " violation";
+  if (expr != nullptr && expr[0] != '\0') {
+    oss << " (" << expr << ")";
+  }
+  oss << " at " << where.file_name() << ":" << where.line();
+  if (!message.empty()) {
+    oss << ": " << message;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace pmc::detail

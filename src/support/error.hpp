@@ -1,0 +1,62 @@
+// Error handling primitives for the pmc library.
+//
+// Library code reports contract violations and unrecoverable conditions by
+// throwing pmc::Error (an exception carrying a formatted message and the
+// source location of the failure). The PMC_CHECK / PMC_REQUIRE macros are the
+// preferred spelling: PMC_REQUIRE validates caller-supplied input (public API
+// preconditions) and PMC_CHECK validates internal invariants.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmc {
+
+/// Exception type thrown on contract violations and unrecoverable errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_error(const char* kind, const char* expr,
+                              const std::string& message,
+                              std::source_location where);
+
+}  // namespace detail
+
+}  // namespace pmc
+
+/// Validates an internal invariant; throws pmc::Error with context on failure.
+#define PMC_CHECK(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream pmc_check_oss_;                                   \
+      pmc_check_oss_ << msg; /* NOLINT */                                  \
+      ::pmc::detail::throw_error("invariant", #cond, pmc_check_oss_.str(), \
+                                 std::source_location::current());         \
+    }                                                                      \
+  } while (false)
+
+/// Validates a public-API precondition; throws pmc::Error on failure.
+#define PMC_REQUIRE(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream pmc_check_oss_;                                      \
+      pmc_check_oss_ << msg; /* NOLINT */                                     \
+      ::pmc::detail::throw_error("precondition", #cond, pmc_check_oss_.str(), \
+                                 std::source_location::current());            \
+    }                                                                         \
+  } while (false)
+
+/// Unconditional failure (unreachable code paths, exhausted switches).
+#define PMC_FAIL(msg)                                                  \
+  do {                                                                 \
+    std::ostringstream pmc_check_oss_;                                 \
+    pmc_check_oss_ << msg; /* NOLINT */                                \
+    ::pmc::detail::throw_error("failure", "", pmc_check_oss_.str(),    \
+                               std::source_location::current());       \
+  } while (false)

@@ -1,0 +1,31 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace pmc {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level() noexcept { return g_level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::cerr << "[pmc " << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace pmc

@@ -1,0 +1,36 @@
+// Leveled logging to stderr. Quiet by default; benches raise the level with
+// --verbose. Not thread-safe by design — pmc's simulated runtime is
+// single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pmc {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global log threshold; messages above it are suppressed.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace pmc
+
+#define PMC_LOG(level, msg)                                     \
+  do {                                                          \
+    if (static_cast<int>(level) <=                              \
+        static_cast<int>(::pmc::log_level())) {                 \
+      std::ostringstream pmc_log_oss_;                          \
+      pmc_log_oss_ << msg; /* NOLINT */                         \
+      ::pmc::detail::log_line(level, pmc_log_oss_.str());       \
+    }                                                           \
+  } while (false)
+
+#define PMC_LOG_INFO(msg) PMC_LOG(::pmc::LogLevel::kInfo, msg)
+#define PMC_LOG_WARN(msg) PMC_LOG(::pmc::LogLevel::kWarn, msg)
+#define PMC_LOG_ERROR(msg) PMC_LOG(::pmc::LogLevel::kError, msg)
+#define PMC_LOG_DEBUG(msg) PMC_LOG(::pmc::LogLevel::kDebug, msg)

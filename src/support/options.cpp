@@ -1,0 +1,100 @@
+#include "support/options.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+void Options::add(const std::string& name, const std::string& default_value,
+                  const std::string& help) {
+  PMC_REQUIRE(!specs_.contains(name), "duplicate option --" << name);
+  specs_[name] = Spec{default_value, help, /*is_flag=*/false};
+}
+
+void Options::add_flag(const std::string& name, const std::string& help) {
+  PMC_REQUIRE(!specs_.contains(name), "duplicate option --" << name);
+  specs_[name] = Spec{"false", help, /*is_flag=*/true};
+}
+
+std::vector<std::string> Options::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    const auto it = specs_.find(name);
+    PMC_REQUIRE(it != specs_.end(), "unknown option --" << name);
+    if (it->second.is_flag) {
+      PMC_REQUIRE(!value.has_value() || *value == "true" || *value == "false",
+                  "flag --" << name << " takes no value or true/false");
+      values_[name] = value.value_or("true");
+    } else {
+      if (!value.has_value()) {
+        PMC_REQUIRE(i + 1 < argc, "option --" << name << " needs a value");
+        value = argv[++i];
+      }
+      values_[name] = *value;
+    }
+  }
+  return positional;
+}
+
+const std::string& Options::get(const std::string& name) const {
+  const auto it = specs_.find(name);
+  PMC_REQUIRE(it != specs_.end(), "undeclared option --" << name);
+  const auto vit = values_.find(name);
+  return vit != values_.end() ? vit->second : it->second.default_value;
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  const std::string& s = get(name);
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  PMC_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+              "option --" << name << " expects an integer, got '" << s << "'");
+  return out;
+}
+
+double Options::get_double(const std::string& name) const {
+  const std::string& s = get(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(s, &pos);
+    PMC_REQUIRE(pos == s.size(), "trailing junk in --" << name);
+    return out;
+  } catch (const std::logic_error&) {
+    PMC_FAIL("option --" << name << " expects a number, got '" << s << "'");
+  }
+}
+
+bool Options::get_flag(const std::string& name) const {
+  return get(name) == "true";
+}
+
+bool Options::supplied(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Options::help(const std::string& program) const {
+  std::ostringstream oss;
+  oss << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    oss << "  --" << name;
+    if (!spec.is_flag) oss << "=<" << spec.default_value << ">";
+    oss << "  " << spec.help << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace pmc

@@ -1,0 +1,50 @@
+// Tiny command-line option parser for the examples and benchmark binaries.
+//
+// Supports --key=value, --key value, and boolean --flag forms. Unknown
+// options raise errors so typos in experiment scripts fail fast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pmc {
+
+/// Declarative CLI parser: declare options, then parse(argc, argv).
+class Options {
+ public:
+  /// Declares a string option with a default value and help text.
+  void add(const std::string& name, const std::string& default_value,
+           const std::string& help);
+
+  /// Declares a boolean flag (defaults to false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws pmc::Error on unknown or malformed options.
+  /// Returns leftover positional arguments.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// True if the option was explicitly supplied on the command line.
+  [[nodiscard]] bool supplied(const std::string& name) const;
+
+  /// Renders a --help style usage summary.
+  [[nodiscard]] std::string help(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pmc

@@ -1,0 +1,10 @@
+#include "support/rng.hpp"
+
+// All of rng.hpp is header-only; this translation unit exists so the build
+// exercises the header under the library's warning flags.
+namespace pmc {
+namespace {
+static_assert(SplitMix64::min() < SplitMix64::max());
+static_assert(Xoshiro256StarStar::min() < Xoshiro256StarStar::max());
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in pmc flows through these generators so that every
+// experiment is reproducible from a single seed. Two generators are provided:
+//
+//  * SplitMix64 — tiny stateless-feel generator, used for seeding and for
+//    per-vertex hash priorities (the coloring algorithm's r(v) function is a
+//    SplitMix64 hash of the vertex id, exactly as the paper prescribes:
+//    "a random function is defined over boundary vertices ... using v's ID
+//    as seed").
+//  * Xoshiro256StarStar — the main workhorse generator; satisfies
+//    std::uniform_random_bit_generator so it composes with <random>.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+/// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Used both as a standalone hash and to expand seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateful SplitMix64 generator (mostly used for seeding Xoshiro).
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, 256-bit state.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses rejection-free Lemire-style
+  /// reduction; tiny modulo bias is irrelevant for the ranges pmc uses but we
+  /// avoid it anyway via 128-bit multiply.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    PMC_REQUIRE(lo <= hi, "empty range [" << lo << ", " << hi << "]");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>((*this)());
+    }
+    const auto x = (*this)();
+    const auto prod =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(span);
+    return lo + static_cast<std::int64_t>(prod >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform_double();
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    return uniform_double() < p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Default RNG alias used throughout pmc.
+using Rng = Xoshiro256StarStar;
+
+/// Derives an independent child seed from (seed, stream). Used to give each
+/// simulated rank / generator instance its own stream.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t stream) noexcept {
+  return splitmix64(seed ^ splitmix64(stream + 0x517cc1b727220a95ULL));
+}
+
+}  // namespace pmc

@@ -1,0 +1,41 @@
+// Small statistics helpers used by the benchmark harness and run reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pmc {
+
+/// Streaming accumulator for count / min / max / mean / variance
+/// (Welford's algorithm, numerically stable).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Population variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of the values using linear
+/// interpolation between order statistics. Copies and sorts internally.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Geometric mean; all values must be positive.
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+}  // namespace pmc

@@ -1,0 +1,117 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+TextTable::TextTable(std::vector<std::string> header, std::vector<Align> align)
+    : header_(std::move(header)), align_(std::move(align)) {
+  PMC_REQUIRE(!header_.empty(), "table must have at least one column");
+  if (align_.empty()) {
+    align_.assign(header_.size(), Align::kRight);
+    align_.front() = Align::kLeft;
+  }
+  PMC_REQUIRE(align_.size() == header_.size(),
+              "alignment arity " << align_.size() << " != header arity "
+                                 << header_.size());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PMC_REQUIRE(row.size() == header_.size(),
+              "row arity " << row.size() << " != header arity "
+                           << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto rule = [&os, &width] {
+    os << '+';
+    for (std::size_t w : width) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = width[c] - row[c].size();
+      if (align_[c] == Align::kLeft) {
+        os << ' ' << row[c] << std::string(pad, ' ') << " |";
+      } else {
+        os << ' ' << std::string(pad, ' ') << row[c] << " |";
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+  }
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string cell(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string cell_sci(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::scientific << std::setprecision(precision) << std::uppercase
+      << value;
+  return oss.str();
+}
+
+std::string cell_count(long long value) {
+  const bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string cell_pct(double ratio, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << ratio * 100.0 << '%';
+  return oss.str();
+}
+
+}  // namespace pmc

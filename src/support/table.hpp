@@ -1,0 +1,57 @@
+// ASCII table rendering for benchmark reports.
+//
+// The benchmark harness prints the rows of each paper table / figure series
+// with this formatter so that bench output is directly comparable with the
+// paper's artifacts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmc {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Simple monospace table with a header row, column alignment and an optional
+/// title. All cells are strings; use the cell() helpers for numbers.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> align = {});
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table (with box-drawing rules) to the stream.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+[[nodiscard]] std::string cell(double value, int precision = 3);
+
+/// Formats a double in scientific notation, mirroring the paper's axis labels
+/// (e.g. "3.13E-02").
+[[nodiscard]] std::string cell_sci(double value, int precision = 2);
+
+/// Formats an integer with thousands separators ("1,365,724").
+[[nodiscard]] std::string cell_count(long long value);
+
+/// Formats a ratio as a percentage with the given precision ("99.36%").
+[[nodiscard]] std::string cell_pct(double ratio, int precision = 2);
+
+}  // namespace pmc

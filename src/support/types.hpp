@@ -1,0 +1,34 @@
+// Fundamental integer types shared across the pmc library.
+#pragma once
+
+#include <cstdint>
+
+namespace pmc {
+
+/// Vertex identifier. Signed so that -1 can mark "none"; 64-bit so billion-
+/// vertex graphs (the paper's largest inputs) are representable.
+using VertexId = std::int64_t;
+
+/// Edge index into CSR arrays.
+using EdgeId = std::int64_t;
+
+/// Edge weight. The matching algorithms assume weights are totally ordered
+/// with ties broken by vertex label, as in the paper.
+using Weight = double;
+
+/// Logical processor rank in the distributed runtime.
+using Rank = std::int32_t;
+
+/// Color assigned by the coloring algorithms; 0-based, -1 means uncolored.
+using Color = std::int32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kNoVertex = -1;
+
+/// Sentinel for "no color".
+inline constexpr Color kNoColor = -1;
+
+/// Sentinel for "no rank".
+inline constexpr Rank kNoRank = -1;
+
+}  // namespace pmc

@@ -1,0 +1,94 @@
+// Tests for the maximum-cardinality matching module (Karp-Sipser heuristic
+// and Hopcroft-Karp exact bipartite matching).
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/cardinality.hpp"
+#include "matching/sequential.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+namespace {
+
+TEST(KarpSipser, PerfectMatchingOnEvenPath) {
+  const Graph g = path(6);
+  const Matching m = karp_sipser_matching(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_EQ(m.cardinality(), 3);  // degree-1 cascade finds the perfect one
+}
+
+TEST(KarpSipser, StarMatchesExactlyOneEdge) {
+  const Graph g = star(9);
+  const Matching m = karp_sipser_matching(g);
+  EXPECT_EQ(m.cardinality(), 1);
+}
+
+TEST(KarpSipser, EmptyAndIsolated) {
+  EXPECT_EQ(karp_sipser_matching(Graph{}).num_vertices(), 0);
+  GraphBuilder b(3, false);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  const Matching m = karp_sipser_matching(g);
+  EXPECT_EQ(m.cardinality(), 1);
+  EXPECT_EQ(m.mate[2], kNoVertex);
+}
+
+TEST(KarpSipser, MaximalOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = erdos_renyi(400, 1200, WeightKind::kUnit, seed);
+    const Matching m = karp_sipser_matching(g, seed);
+    EXPECT_TRUE(is_valid_matching(g, m));
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
+  BipartiteInfo info;
+  const Graph g = random_bipartite(6, 6, 36, info);  // K_{6,6}
+  const Matching m = hopcroft_karp_bipartite(g, info);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_EQ(m.cardinality(), 6);
+}
+
+TEST(HopcroftKarp, AugmentsThroughAlternatingPaths) {
+  // Classic case where greedy gets stuck at 1 but optimum is 2:
+  // left {0,1}, right {2,3}; edges (0,2), (0,3), (1,2).
+  const Graph g = graph_from_edges(4, {{0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}});
+  const Matching m = hopcroft_karp_bipartite(g, BipartiteInfo{2, 2});
+  EXPECT_EQ(m.cardinality(), 2);
+}
+
+TEST(HopcroftKarp, RejectsNonBipartiteEdges) {
+  const Graph t = graph_from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  EXPECT_THROW((void)hopcroft_karp_bipartite(t, BipartiteInfo{2, 1}), Error);
+}
+
+TEST(HopcroftKarp, MatchesKonigBoundOnBipartiteSweep) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    BipartiteInfo info;
+    const Graph g =
+        random_bipartite(30, 40, 150, info, WeightKind::kUnit, seed);
+    const Matching exact = hopcroft_karp_bipartite(g, info);
+    EXPECT_TRUE(is_valid_matching(g, exact));
+    // Karp-Sipser is a heuristic: never better, usually close.
+    const Matching ks = karp_sipser_matching(g, seed);
+    EXPECT_LE(ks.cardinality(), exact.cardinality());
+    EXPECT_GE(ks.cardinality(),
+              (9 * exact.cardinality()) / 10);  // empirically ~97-100%
+    // And any maximal matching is at least half of maximum.
+    EXPECT_GE(2 * ks.cardinality(), exact.cardinality());
+  }
+}
+
+TEST(HopcroftKarp, AgreesWithWeightedSolverCardinalityOnUnitWeights) {
+  BipartiteInfo info;
+  const Graph g = random_bipartite(25, 25, 120, info, WeightKind::kUnit, 4);
+  const Matching hk = hopcroft_karp_bipartite(g, info);
+  // With unit weights, max weight == max cardinality.
+  const Matching ld = locally_dominant_matching(g);
+  EXPECT_GE(hk.cardinality(), ld.cardinality());
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,149 @@
+// Tests for the distributed verifiers: they must agree with the sequential
+// verifiers on both valid and deliberately corrupted results.
+#include <gtest/gtest.h>
+
+#include "coloring/parallel.hpp"
+#include "coloring/parallel_verify.hpp"
+#include "graph/generators.hpp"
+#include "matching/parallel.hpp"
+#include "matching/parallel_verify.hpp"
+#include "matching/sequential.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/simple.hpp"
+
+namespace pmc {
+namespace {
+
+struct Fixture {
+  Graph g;
+  Partition p;
+  DistGraph dist;
+};
+
+Fixture make_setup(Rank ranks) {
+  Fixture s;
+  s.g = erdos_renyi(300, 1200, WeightKind::kUniformRandom, 5);
+  s.p = multilevel_partition(s.g, ranks, MultilevelConfig::metis_like(2));
+  s.dist = DistGraph::build(s.g, s.p);
+  return s;
+}
+
+TEST(DistVerifyMatching, AcceptsCorrectMatching) {
+  const Fixture s = make_setup(6);
+  const Matching m = locally_dominant_matching(s.g);
+  const auto result = verify_matching_distributed(s.dist, m);
+  EXPECT_EQ(result.violations, 0);
+  EXPECT_GT(result.run.comm.messages, 0);  // the boundary exchange happened
+}
+
+TEST(DistVerifyMatching, DetectsAsymmetry) {
+  const Fixture s = make_setup(6);
+  Matching m = locally_dominant_matching(s.g);
+  // Corrupt: break one side of a matched pair.
+  for (VertexId v = 0; v < s.g.num_vertices(); ++v) {
+    if (m.mate[static_cast<std::size_t>(v)] != kNoVertex) {
+      m.mate[static_cast<std::size_t>(v)] = kNoVertex;
+      break;
+    }
+  }
+  const auto result = verify_matching_distributed(s.dist, m);
+  EXPECT_GT(result.violations, 0);
+}
+
+TEST(DistVerifyMatching, DetectsNonEdgeMate) {
+  const Fixture s = make_setup(4);
+  Matching m;
+  m.mate.assign(static_cast<std::size_t>(s.g.num_vertices()), kNoVertex);
+  // Find two non-adjacent vertices and "match" them.
+  for (VertexId v = 0; v < s.g.num_vertices(); ++v) {
+    for (VertexId u = v + 1; u < s.g.num_vertices(); ++u) {
+      if (!s.g.has_edge(v, u)) {
+        m.mate[static_cast<std::size_t>(v)] = u;
+        m.mate[static_cast<std::size_t>(u)] = v;
+        const auto result = verify_matching_distributed(s.dist, m);
+        EXPECT_GT(result.violations, 0);
+        return;
+      }
+    }
+  }
+  FAIL() << "graph unexpectedly complete";
+}
+
+TEST(DistVerifyMatching, DetectsNonMaximality) {
+  const Fixture s = make_setup(5);
+  Matching empty;
+  empty.mate.assign(static_cast<std::size_t>(s.g.num_vertices()), kNoVertex);
+  const auto result = verify_matching_distributed(s.dist, empty);
+  EXPECT_GT(result.violations, 0);  // plenty of free-free edges
+}
+
+TEST(DistVerifyMatching, AgreesWithDistributedSolver) {
+  for (Rank ranks : {2, 9}) {
+    const Fixture s = make_setup(ranks);
+    DistMatchingOptions opts;
+    opts.model = MachineModel::zero_cost();
+    const auto solved = match_distributed(s.dist, opts);
+    const auto verified = verify_matching_distributed(s.dist, solved.matching);
+    EXPECT_EQ(verified.violations, 0) << "ranks " << ranks;
+  }
+}
+
+TEST(DistVerifyColoring, AcceptsProperColoring) {
+  const Fixture s = make_setup(6);
+  const auto solved =
+      color_distributed(s.dist, DistColoringOptions::improved());
+  const auto result = verify_coloring_distributed(s.dist, solved.coloring);
+  EXPECT_EQ(result.violations, 0);
+}
+
+TEST(DistVerifyColoring, CountsMatchSequentialConflictCount) {
+  const Fixture s = make_setup(7);
+  // A deliberately bad coloring: everything color 0.
+  Coloring bad;
+  bad.color.assign(static_cast<std::size_t>(s.g.num_vertices()), 0);
+  const auto result = verify_coloring_distributed(s.dist, bad);
+  EXPECT_EQ(result.violations, count_conflicts(s.g, bad));
+  EXPECT_EQ(result.violations, s.g.num_edges());
+}
+
+TEST(DistVerifyColoring, CountsUncoloredVertices) {
+  const Fixture s = make_setup(3);
+  Coloring c;
+  c.color.assign(static_cast<std::size_t>(s.g.num_vertices()), kNoColor);
+  const auto result = verify_coloring_distributed(s.dist, c);
+  EXPECT_EQ(result.violations, s.g.num_vertices());
+}
+
+TEST(DistVerifyColoring, SingleConflictFoundOnce) {
+  // Path 0-1-2-3 across 2 ranks with exactly one cross conflict.
+  const Graph g = path(4);
+  const Partition p(2, {0, 0, 1, 1});
+  const DistGraph dist = DistGraph::build(g, p);
+  Coloring c;
+  c.color = {0, 1, 1, 0};  // conflict on cross edge (1, 2) only
+  const auto result = verify_coloring_distributed(dist, c);
+  EXPECT_EQ(result.violations, 1);
+}
+
+TEST(DistVerify, CostScalesWithBoundarySize) {
+  // Verification traffic should reflect the cut, not the graph size.
+  const Graph g = grid_2d(32, 32);
+  const Partition good = grid_2d_partition(32, 32, 2, 2);
+  const Partition bad = random_partition(g.num_vertices(), 4, 1);
+  const auto solved_good = DistGraph::build(g, good);
+  const auto solved_bad = DistGraph::build(g, bad);
+  Coloring c;
+  c.color.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    c.color[static_cast<std::size_t>(v)] =
+        static_cast<Color>((v / 32 + v % 32) % 2);
+  }
+  const auto r_good = verify_coloring_distributed(solved_good, c);
+  const auto r_bad = verify_coloring_distributed(solved_bad, c);
+  EXPECT_EQ(r_good.violations, 0);
+  EXPECT_EQ(r_bad.violations, 0);
+  EXPECT_LT(r_good.run.comm.records, r_bad.run.comm.records);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,73 @@
+// Tests for the benchmark-harness helpers (scaling series, ideal laws) and
+// the high-level core API.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "core/experiment.hpp"
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+namespace {
+
+TEST(ScalingSeries, WeakIdealIsConstant) {
+  ScalingSeries s("weak");
+  s.add({1024, "8k x 8k", 0.05, 0.0});
+  s.add({4096, "16k x 16k", 0.055, 0.0});
+  s.add({16384, "32k x 32k", 0.06, 0.0});
+  const auto ideal = s.ideal_weak();
+  EXPECT_DOUBLE_EQ(ideal[0], 0.05);
+  EXPECT_DOUBLE_EQ(ideal[2], 0.05);
+  EXPECT_NEAR(s.final_efficiency(false), 0.05 / 0.06, 1e-12);
+}
+
+TEST(ScalingSeries, StrongIdealHalvesPerDoubling) {
+  ScalingSeries s("strong");
+  s.add({512, "grid", 2.0, 0.0});
+  s.add({1024, "grid", 1.1, 0.0});
+  s.add({2048, "grid", 0.7, 0.0});
+  const auto ideal = s.ideal_strong();
+  EXPECT_DOUBLE_EQ(ideal[0], 2.0);
+  EXPECT_DOUBLE_EQ(ideal[1], 1.0);
+  EXPECT_DOUBLE_EQ(ideal[2], 0.5);
+}
+
+TEST(ScalingSeries, TableRendersAllPoints) {
+  ScalingSeries s("title", "colors");
+  s.add({2, "a", 1.0, 4.0});
+  s.add({4, "b", 0.5, 4.0});
+  const TextTable t = s.to_table(/*strong=*/true);
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("colors"), std::string::npos);
+}
+
+TEST(ScalingSeries, RejectsEmptyAndBadPoints) {
+  ScalingSeries s("x");
+  EXPECT_THROW((void)s.ideal_weak(), Error);
+  EXPECT_THROW(s.add({0, "bad", 1.0, 0.0}), Error);
+}
+
+TEST(CoreApi, MatchAndColorOneCall) {
+  const Graph g = grid_2d(12, 12, WeightKind::kUniformRandom, 1);
+  const Matching m = match(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  const Coloring c = color(g);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+}
+
+TEST(CoreApi, DistributedOneCallWrappers) {
+  const Graph g = grid_2d(12, 12, WeightKind::kUniformRandom, 2);
+  const auto mr = match_on_ranks(g, 4);
+  EXPECT_TRUE(is_valid_matching(g, mr.matching));
+  EXPECT_DOUBLE_EQ(matching_weight(g, mr.matching),
+                   matching_weight(g, match(g)));
+  const auto cr = color_on_ranks(g, 4);
+  EXPECT_TRUE(is_proper_coloring(g, cr.coloring));
+  EXPECT_THROW((void)match_on_ranks(g, 0), Error);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,166 @@
+// Unit and property tests for the synthetic graph generators.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+namespace {
+
+TEST(Grid2D, FivePointStructure) {
+  const Graph g = grid_2d(3, 4);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 12);
+  // Edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17);
+  // Corner has degree 2, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1 * 4 + 1), 4);
+  // Neighbors of (1,1)=5: 1, 4, 6, 9.
+  const auto nbrs = g.neighbors(5);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], 1);
+  EXPECT_EQ(nbrs[1], 4);
+  EXPECT_EQ(nbrs[2], 6);
+  EXPECT_EQ(nbrs[3], 9);
+}
+
+TEST(Grid2D, SingleRowIsPath) {
+  const Graph g = grid_2d(1, 6);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Grid2D, RandomWeightsAreStableAcrossCalls) {
+  const Graph a = grid_2d(5, 5, WeightKind::kUniformRandom, 99);
+  const Graph b = grid_2d(5, 5, WeightKind::kUniformRandom, 99);
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    for (VertexId u : a.neighbors(v)) {
+      EXPECT_DOUBLE_EQ(a.edge_weight(v, u), b.edge_weight(v, u));
+    }
+  }
+  const Graph c = grid_2d(5, 5, WeightKind::kUniformRandom, 100);
+  EXPECT_NE(a.edge_weight(0, 1), c.edge_weight(0, 1));
+}
+
+TEST(Grid3D, SevenPointStructure) {
+  const Graph g = grid_3d(3, 3, 3);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 27);
+  EXPECT_EQ(g.num_edges(), 3 * (2 * 3 * 3));  // 3 directions * 2*9 each
+  EXPECT_EQ(g.max_degree(), 6);
+  EXPECT_EQ(g.min_degree(), 3);
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  const Graph g = erdos_renyi(100, 300);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 100);
+  EXPECT_EQ(g.num_edges(), 300);
+}
+
+TEST(ErdosRenyi, RejectsImpossibleEdgeCount) {
+  EXPECT_THROW((void)erdos_renyi(4, 100), Error);
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  const Graph g = rmat(10, 8);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 1024);
+  EXPECT_GT(g.num_edges(), 1024);  // most duplicates collapse, still dense-ish
+  // Skew: max degree well above the average.
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_vertices());
+  EXPECT_GT(static_cast<double>(g.max_degree()), 3.0 * avg);
+}
+
+TEST(RandomGeometric, EdgesRespectRadius) {
+  const Graph g = random_geometric(200, 0.12, WeightKind::kUnit, 5);
+  g.validate();
+  EXPECT_GT(g.num_edges(), 0);
+}
+
+TEST(CircuitLike, DegreeBoundsHold) {
+  const Graph g = circuit_like(2000, 4000, 6);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 2000);
+  EXPECT_GE(g.min_degree(), 2);
+  EXPECT_LE(g.max_degree(), 6);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 4000.0, 500.0);
+  VertexId components = 0;
+  (void)connected_components(g, components);
+  EXPECT_EQ(components, 1);  // the backbone ring keeps it connected
+}
+
+TEST(SmallGraphs, CompletePathCycleStar) {
+  EXPECT_EQ(complete(5).num_edges(), 10);
+  EXPECT_EQ(path(1).num_edges(), 0);
+  EXPECT_EQ(path(4).num_edges(), 3);
+  EXPECT_EQ(cycle(5).num_edges(), 5);
+  EXPECT_EQ(star(5).num_edges(), 4);
+  EXPECT_EQ(star(5).degree(0), 4);
+  EXPECT_THROW((void)cycle(2), Error);
+}
+
+TEST(RandomBipartite, SidesAndEdgeCount) {
+  BipartiteInfo info;
+  const Graph g = random_bipartite(10, 20, 50, info);
+  g.validate();
+  EXPECT_EQ(info.num_left, 10);
+  EXPECT_EQ(info.num_right, 20);
+  EXPECT_EQ(g.num_edges(), 50);
+  EXPECT_TRUE(respects_bipartition(g, info));
+}
+
+TEST(Reweight, PreservesStructureChangesWeights) {
+  const Graph g = grid_2d(4, 4, WeightKind::kUnit);
+  const Graph h = reweight(g, WeightKind::kUniformRandom, 3);
+  h.validate();
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  bool any_nonunit = false;
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    for (VertexId u : h.neighbors(v)) {
+      if (h.edge_weight(v, u) != 1.0) any_nonunit = true;
+    }
+  }
+  EXPECT_TRUE(any_nonunit);
+}
+
+TEST(WeightKinds, IntegralWeightsProduceTies) {
+  const Graph g = erdos_renyi(100, 1500, WeightKind::kIntegral, 1);
+  bool found_tie = false;
+  // Integral weights in [1, 1000] over 1500 edges must collide somewhere.
+  std::vector<int> counts(1001, 0);
+  for (VertexId v = 0; v < g.num_vertices() && !found_tie; ++v) {
+    const auto ws = g.weights(v);
+    for (const Weight w : ws) {
+      if (++counts[static_cast<std::size_t>(w)] > 2) {
+        found_tie = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_tie);
+}
+
+/// Property sweep: every generator yields a structurally valid graph for a
+/// range of seeds.
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, AllGeneratorsValidate) {
+  const std::uint64_t seed = GetParam();
+  erdos_renyi(60, 150, WeightKind::kUniformRandom, seed).validate();
+  rmat(7, 4, 0.57, 0.19, 0.19, WeightKind::kUniformRandom, seed).validate();
+  random_geometric(100, 0.2, WeightKind::kUniformRandom, seed).validate();
+  circuit_like(200, 400, 6, WeightKind::kUniformRandom, seed).validate();
+  BipartiteInfo info;
+  random_bipartite(20, 30, 100, info, WeightKind::kUniformRandom, seed)
+      .validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(0, 1, 2, 3, 17, 1234, 99999));
+
+}  // namespace
+}  // namespace pmc

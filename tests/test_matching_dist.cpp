@@ -1,0 +1,197 @@
+// Tests for the distributed matching algorithm: protocol correctness,
+// equivalence with the sequential locally-dominant matching for any rank
+// count, bundling behaviour, and robustness to message reordering.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/parallel.hpp"
+#include "matching/sequential.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/simple.hpp"
+
+namespace pmc {
+namespace {
+
+DistMatchingOptions zero_cost_options() {
+  DistMatchingOptions o;
+  o.model = MachineModel::zero_cost();
+  return o;
+}
+
+TEST(DistMatching, Fig31OneVertexPerProcessor) {
+  // The paper's Fig 3.1 walkthrough: complete graph on u=0, v=1, w=2 with
+  // weights 3, 2, 1, one vertex per processor. Edge (u, v) must be matched
+  // and w must fail.
+  const Graph g = graph_from_edges(3, {{0, 1, 3.0}, {0, 2, 2.0}, {1, 2, 1.0}});
+  const Partition p(3, {0, 1, 2});
+  const auto result = match_distributed(g, p, zero_cost_options());
+  EXPECT_EQ(result.matching.mate[0], 1);
+  EXPECT_EQ(result.matching.mate[1], 0);
+  EXPECT_EQ(result.matching.mate[2], kNoVertex);
+  EXPECT_TRUE(is_valid_matching(g, result.matching));
+  // The paper's simple protocol sends 2-3 messages per edge (6-9 here); our
+  // general algorithm trims further (SUCCEEDED excluded on the mate's rank,
+  // FAILED suppressed once every neighbor is known dead), so the trace is
+  // 5-7 records depending on delivery order.
+  EXPECT_GE(result.run.comm.records, 5);
+  EXPECT_LE(result.run.comm.records, 7);
+}
+
+TEST(DistMatching, SingleRankMatchesSequential) {
+  const Graph g = erdos_renyi(300, 1200, WeightKind::kUniformRandom, 1);
+  const Partition p = block_partition(g.num_vertices(), 1);
+  const auto result = match_distributed(g, p, zero_cost_options());
+  const Matching seq = locally_dominant_matching(g);
+  EXPECT_EQ(result.matching.mate, seq.mate);
+  EXPECT_EQ(result.run.comm.messages, 0);  // no cross edges, no messages
+}
+
+TEST(DistMatching, MatchingIndependentOfCostModel) {
+  const Graph g = erdos_renyi(200, 900, WeightKind::kUniformRandom, 2);
+  const Partition p = random_partition(g.num_vertices(), 7, 3);
+  DistMatchingOptions bgp;
+  bgp.model = MachineModel::blue_gene_p();
+  DistMatchingOptions commodity;
+  commodity.model = MachineModel::commodity_cluster();
+  const auto a = match_distributed(g, p, zero_cost_options());
+  const auto b = match_distributed(g, p, bgp);
+  const auto c = match_distributed(g, p, commodity);
+  EXPECT_EQ(a.matching.mate, b.matching.mate);
+  EXPECT_EQ(a.matching.mate, c.matching.mate);
+}
+
+TEST(DistMatching, RobustToDeliveryReordering) {
+  // The paper notes the outcome is identical whichever order SUCCEEDED
+  // messages arrive in (Fig 3.1 discussion). Jitter perturbs cross-channel
+  // arrival order deterministically.
+  const Graph g = erdos_renyi(150, 700, WeightKind::kUniformRandom, 4);
+  const Partition p = random_partition(g.num_vertices(), 6, 1);
+  const Matching seq = locally_dominant_matching(g);
+  for (std::uint64_t jitter_seed = 0; jitter_seed < 8; ++jitter_seed) {
+    DistMatchingOptions o;
+    o.model = MachineModel::blue_gene_p();
+    o.jitter_seconds = 1e-3;  // huge relative to the model's latencies
+    o.jitter_seed = jitter_seed;
+    const auto result = match_distributed(g, p, o);
+    EXPECT_EQ(result.matching.mate, seq.mate) << "jitter seed " << jitter_seed;
+  }
+}
+
+TEST(DistMatching, UnbundledProducesSameMatchingMoreMessages) {
+  const Graph g = grid_2d(16, 16, WeightKind::kUniformRandom, 5);
+  const Partition p = grid_2d_partition(16, 16, 4, 4);
+  DistMatchingOptions bundled = zero_cost_options();
+  DistMatchingOptions unbundled = zero_cost_options();
+  unbundled.bundled = false;
+  const auto rb = match_distributed(g, p, bundled);
+  const auto ru = match_distributed(g, p, unbundled);
+  EXPECT_EQ(rb.matching.mate, ru.matching.mate);
+  EXPECT_EQ(rb.run.comm.records, ru.run.comm.records);
+  EXPECT_LT(rb.run.comm.messages, ru.run.comm.messages);
+  // Unbundled: exactly one record per message.
+  EXPECT_EQ(ru.run.comm.messages, ru.run.comm.records);
+}
+
+TEST(DistMatching, BundlingReducesModeledTime) {
+  const Graph g = grid_2d(24, 24, WeightKind::kUniformRandom, 6);
+  const Partition p = grid_2d_partition(24, 24, 4, 4);
+  DistMatchingOptions bundled;
+  bundled.model = MachineModel::blue_gene_p();
+  DistMatchingOptions unbundled = bundled;
+  unbundled.bundled = false;
+  const auto rb = match_distributed(g, p, bundled);
+  const auto ru = match_distributed(g, p, unbundled);
+  EXPECT_LT(rb.run.sim_seconds, ru.run.sim_seconds);
+}
+
+TEST(DistMatching, MessageBoundPerCrossEdge) {
+  // At least two and at most three records cross any cut edge (paper §3.2),
+  // minus the savings from per-rank SUCCEEDED/FAILED deduplication — so the
+  // record count can only be bounded above here.
+  const Graph g = erdos_renyi(120, 500, WeightKind::kUniformRandom, 8);
+  const Partition p = random_partition(g.num_vertices(), 5, 2);
+  const auto metrics = compute_metrics(g, p);
+  const auto result = match_distributed(g, p, zero_cost_options());
+  EXPECT_LE(result.run.comm.records, 3 * metrics.edge_cut);
+  EXPECT_GT(result.run.comm.records, 0);
+}
+
+TEST(DistMatching, WeightIdenticalAcrossRankCounts) {
+  // The paper reports "the sum of the weights of edges in the computed
+  // matching remained the same, regardless of the number of processors".
+  // With deterministic tie-breaking we can assert the stronger statement:
+  // the matching itself is identical.
+  const Graph g = circuit_like(600, 1300, 6, WeightKind::kUniformRandom, 3);
+  const Matching seq = locally_dominant_matching(g);
+  for (Rank ranks : {2, 3, 5, 8, 16, 33}) {
+    const Partition p =
+        multilevel_partition(g, ranks, MultilevelConfig::metis_like(1));
+    const auto result = match_distributed(g, p, zero_cost_options());
+    EXPECT_EQ(result.matching.mate, seq.mate) << "ranks " << ranks;
+    EXPECT_TRUE(is_maximal_matching(g, result.matching));
+    std::string why;
+    EXPECT_TRUE(has_dominance_certificate(g, result.matching, &why)) << why;
+  }
+}
+
+TEST(DistMatching, IsolatedVerticesStayUnmatched) {
+  GraphBuilder b(5, true);
+  b.add_edge(0, 1, 1.0);  // vertices 2, 3, 4 isolated
+  const Graph g = std::move(b).build();
+  const Partition p = block_partition(5, 2);
+  const auto result = match_distributed(g, p, zero_cost_options());
+  EXPECT_EQ(result.matching.mate[0], 1);
+  EXPECT_EQ(result.matching.mate[2], kNoVertex);
+  EXPECT_EQ(result.matching.mate[4], kNoVertex);
+}
+
+TEST(DistMatching, WorstCasePartitionEveryVertexAlone) {
+  // One vertex per rank on a cycle with ties: all edges are cross edges.
+  const Graph g = cycle(12, WeightKind::kIntegral, 9);
+  std::vector<Rank> owner(12);
+  for (std::size_t v = 0; v < 12; ++v) owner[v] = static_cast<Rank>(v);
+  const Partition p(12, std::move(owner));
+  const auto result = match_distributed(g, p, zero_cost_options());
+  const Matching seq = locally_dominant_matching(g);
+  EXPECT_EQ(result.matching.mate, seq.mate);
+}
+
+/// The central property sweep: distributed == sequential for every
+/// (graph, partition strategy, rank count) combination.
+class DistEqualsSeqSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistEqualsSeqSweep, ExactEquivalence) {
+  const auto [graph_kind, partition_kind, ranks] = GetParam();
+  Graph g;
+  switch (graph_kind) {
+    case 0: g = grid_2d(14, 14, WeightKind::kUniformRandom, 21); break;
+    case 1: g = erdos_renyi(180, 720, WeightKind::kUniformRandom, 22); break;
+    case 2: g = erdos_renyi(180, 540, WeightKind::kIntegral, 23); break;
+    case 3: g = rmat(7, 5, 0.57, 0.19, 0.19, WeightKind::kUniformRandom, 24); break;
+    case 4: g = star(50, WeightKind::kUniformRandom, 25); break;
+    default: FAIL();
+  }
+  Partition p;
+  switch (partition_kind) {
+    case 0: p = block_partition(g.num_vertices(), static_cast<Rank>(ranks)); break;
+    case 1: p = cyclic_partition(g.num_vertices(), static_cast<Rank>(ranks)); break;
+    case 2: p = random_partition(g.num_vertices(), static_cast<Rank>(ranks), 7); break;
+    default: FAIL();
+  }
+  const auto result = match_distributed(g, p, zero_cost_options());
+  const Matching seq = locally_dominant_matching(g);
+  EXPECT_EQ(result.matching.mate, seq.mate);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, DistEqualsSeqSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(2, 4, 9)));
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,177 @@
+// Tests for the sequential matching algorithms: greedy, locally-dominant
+// (candidate-mate), verification predicates and the half-approximation
+// guarantee against brute force.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/matching.hpp"
+#include "matching/sequential.hpp"
+#include "test_util.hpp"
+
+namespace pmc {
+namespace {
+
+Graph fig31_triangle() {
+  // Paper Fig 3.1: u=0, v=1, w=2 with w(u,v)=3, w(u,w)=2, w(v,w)=1.
+  return graph_from_edges(3, {{0, 1, 3.0}, {0, 2, 2.0}, {1, 2, 1.0}});
+}
+
+TEST(MatchingVerify, DetectsInvalidMatchings) {
+  const Graph g = fig31_triangle();
+  std::string why;
+
+  Matching asym;
+  asym.mate = {1, kNoVertex, kNoVertex};
+  EXPECT_FALSE(is_valid_matching(g, asym, &why));
+  EXPECT_NE(why.find("asymmetric"), std::string::npos);
+
+  Matching self_loop;
+  self_loop.mate = {0, kNoVertex, kNoVertex};
+  EXPECT_FALSE(is_valid_matching(g, self_loop, &why));
+
+  Matching non_edge;
+  non_edge.mate = {kNoVertex, kNoVertex, kNoVertex};
+  non_edge.mate.resize(3, kNoVertex);
+  EXPECT_TRUE(is_valid_matching(g, non_edge));
+
+  Matching wrong_size;
+  wrong_size.mate = {kNoVertex};
+  EXPECT_FALSE(is_valid_matching(g, wrong_size, &why));
+}
+
+TEST(MatchingVerify, NonEdgePairRejected) {
+  const Graph g = path(4);  // 0-1-2-3: (0,3) is not an edge
+  Matching m;
+  m.mate = {3, kNoVertex, kNoVertex, 0};
+  std::string why;
+  EXPECT_FALSE(is_valid_matching(g, m, &why));
+  EXPECT_NE(why.find("not an edge"), std::string::npos);
+}
+
+TEST(LocallyDominant, MatchesHeaviestEdgeOfTriangle) {
+  const Graph g = fig31_triangle();
+  const Matching m = locally_dominant_matching(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_EQ(m.mate[0], 1);
+  EXPECT_EQ(m.mate[1], 0);
+  EXPECT_EQ(m.mate[2], kNoVertex);  // w fails, exactly as in the paper
+  EXPECT_DOUBLE_EQ(matching_weight(g, m), 3.0);
+  EXPECT_EQ(m.cardinality(), 1);
+}
+
+TEST(LocallyDominant, PathPicksAlternateEdges) {
+  // Path 0-1-2-3 with weights 1, 5, 1: the middle edge dominates.
+  const Graph g = graph_from_edges(4, {{0, 1, 1.0}, {1, 2, 5.0}, {2, 3, 1.0}});
+  const Matching m = locally_dominant_matching(g);
+  EXPECT_EQ(m.mate[1], 2);
+  EXPECT_EQ(m.mate[0], kNoVertex);
+  EXPECT_EQ(m.mate[3], kNoVertex);
+}
+
+TEST(LocallyDominant, EmptyAndSingletonGraphs) {
+  const Graph empty;
+  const Matching m0 = locally_dominant_matching(empty);
+  EXPECT_EQ(m0.num_vertices(), 0);
+  const Graph one = path(1);
+  const Matching m1 = locally_dominant_matching(one);
+  EXPECT_EQ(m1.mate[0], kNoVertex);
+}
+
+TEST(LocallyDominant, TiesBrokenBySmallestLabel) {
+  // Star with equal weights: center 0 must match leaf 1 (smallest label).
+  const Graph g =
+      graph_from_edges(4, {{0, 1, 2.0}, {0, 2, 2.0}, {0, 3, 2.0}});
+  const Matching m = locally_dominant_matching(g);
+  EXPECT_EQ(m.mate[0], 1);
+}
+
+TEST(LocallyDominant, IsMaximalAndCertified) {
+  const Graph g = erdos_renyi(200, 800, WeightKind::kUniformRandom, 5);
+  const Matching m = locally_dominant_matching(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  std::string why;
+  EXPECT_TRUE(has_dominance_certificate(g, m, &why)) << why;
+}
+
+TEST(Greedy, AgreesWithLocallyDominantOnDistinctWeights) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = erdos_renyi(150, 600, WeightKind::kUniformRandom, seed);
+    const Matching a = greedy_matching(g);
+    const Matching b = locally_dominant_matching(g);
+    // With distinct weights the locally-dominant matching is unique and
+    // equals the greedy matching.
+    EXPECT_EQ(a.mate, b.mate) << "seed " << seed;
+  }
+}
+
+TEST(Greedy, ProducesValidMaximalMatchingWithTies) {
+  const Graph g = erdos_renyi(200, 700, WeightKind::kIntegral, 7);
+  const Matching m = greedy_matching(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(MaximalCheck, DetectsNonMaximal) {
+  const Graph g = path(2);
+  Matching empty;
+  empty.mate = {kNoVertex, kNoVertex};
+  EXPECT_FALSE(is_maximal_matching(g, empty));
+}
+
+TEST(DominanceCertificate, FailsForPoorMatching) {
+  // Path 0-1-2-3 weights 1, 5, 1: matching the two side edges (weight 2
+  // total) is maximal but not locally dominant.
+  const Graph g = graph_from_edges(4, {{0, 1, 1.0}, {1, 2, 5.0}, {2, 3, 1.0}});
+  Matching m;
+  m.mate = {1, 0, 3, 2};
+  EXPECT_TRUE(is_valid_matching(g, m));
+  std::string why;
+  EXPECT_FALSE(has_dominance_certificate(g, m, &why));
+  EXPECT_NE(why.find("not dominated"), std::string::npos);
+}
+
+TEST(WorkStats, LinearishWorkOnRandomWeights) {
+  const Graph g = erdos_renyi(500, 3000, WeightKind::kUniformRandom, 11);
+  SequentialMatchingStats stats;
+  (void)locally_dominant_matching_with_stats(g, stats);
+  // Expected O(|E|) pointer advances for uniform random weights.
+  EXPECT_LT(stats.pointer_advances, 8 * g.num_arcs());
+  EXPECT_GT(stats.arc_touches, 0);
+}
+
+/// Property sweep: half-approximation bound against brute force on tiny
+/// graphs (the guarantee the paper's algorithm inherits from Preis).
+class HalfApproxSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(HalfApproxSweep, AtLeastHalfOfOptimal) {
+  const auto [kind, seed] = GetParam();
+  Graph g;
+  switch (kind) {
+    case 0: g = erdos_renyi(8, 12, WeightKind::kUniformRandom, seed); break;
+    case 1: g = erdos_renyi(9, 14, WeightKind::kIntegral, seed); break;
+    case 2: g = complete(6, WeightKind::kUniformRandom, seed); break;
+    case 3: g = cycle(9, WeightKind::kIntegral, seed); break;
+    default: FAIL();
+  }
+  const Weight optimal = test::brute_force_max_weight_matching(g);
+  for (const Matching& m :
+       {locally_dominant_matching(g), greedy_matching(g)}) {
+    EXPECT_TRUE(is_valid_matching(g, m));
+    EXPECT_TRUE(is_maximal_matching(g, m));
+    EXPECT_GE(matching_weight(g, m), 0.5 * optimal - 1e-12);
+    EXPECT_LE(matching_weight(g, m), optimal + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphKindsTimesSeeds, HalfApproxSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u)));
+
+}  // namespace
+}  // namespace pmc

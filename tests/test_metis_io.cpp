@@ -1,0 +1,121 @@
+// Tests for METIS .graph format I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/metis_io.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+namespace {
+
+TEST(MetisIo, ParsesUnweightedGraph) {
+  // Triangle plus a pendant vertex: 4 vertices, 4 edges.
+  std::istringstream in(
+      "% a comment\n"
+      "4 4\n"
+      "2 3\n"
+      "1 3 4\n"
+      "1 2\n"
+      "2\n");
+  const Graph g = read_metis_graph(in);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_weights());
+}
+
+TEST(MetisIo, ParsesEdgeWeightedGraph) {
+  std::istringstream in(
+      "3 2 1\n"
+      "2 5 3 7\n"
+      "1 5\n"
+      "1 7\n");
+  const Graph g = read_metis_graph(in);
+  EXPECT_TRUE(g.has_weights());
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 7.0);
+}
+
+TEST(MetisIo, HandlesIsolatedVertices) {
+  // Vertex 3 is isolated: its adjacency line is empty.
+  std::istringstream in(
+      "3 1\n"
+      "2\n"
+      "1\n"
+      "\n");
+  const Graph g = read_metis_graph(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(MetisIo, RejectsMalformedInputs) {
+  {
+    std::istringstream in("");  // empty
+    EXPECT_THROW((void)read_metis_graph(in), Error);
+  }
+  {
+    std::istringstream in("2 1 10\n2\n1\n");  // vertex weights unsupported
+    EXPECT_THROW((void)read_metis_graph(in), Error);
+  }
+  {
+    std::istringstream in("2 1\n2\n5\n");  // neighbor out of range
+    EXPECT_THROW((void)read_metis_graph(in), Error);
+  }
+  {
+    std::istringstream in("2 1\n1\n1\n");  // self-loop
+    EXPECT_THROW((void)read_metis_graph(in), Error);
+  }
+  {
+    std::istringstream in("2 2\n2\n1\n");  // header declares 2 edges, 1 given
+    EXPECT_THROW((void)read_metis_graph(in), Error);
+  }
+  {
+    std::istringstream in("3 1\n2\n1\n");  // missing adjacency line
+    EXPECT_THROW((void)read_metis_graph(in), Error);
+  }
+}
+
+TEST(MetisIo, RoundTripUnweighted) {
+  const Graph g = erdos_renyi(60, 150, WeightKind::kUnit, 3);
+  // kUnit still records weights; write as unweighted by stripping them via
+  // the square-free path: regenerate as pattern through METIS text.
+  std::ostringstream out;
+  write_metis_graph(out, g);
+  std::istringstream in(out.str());
+  const Graph h = read_metis_graph(in);
+  h.validate();
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(MetisIo, RoundTripWeighted) {
+  const Graph g = erdos_renyi(40, 100, WeightKind::kIntegral, 4);
+  std::ostringstream out;
+  write_metis_graph(out, g);
+  std::istringstream in(out.str());
+  const Graph h = read_metis_graph(in);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      EXPECT_DOUBLE_EQ(h.edge_weight(v, u), g.edge_weight(v, u));
+    }
+  }
+}
+
+TEST(MetisIo, FileNotFoundThrows) {
+  EXPECT_THROW((void)read_metis_graph_file("/nonexistent/x.graph"), Error);
+}
+
+}  // namespace
+}  // namespace pmc

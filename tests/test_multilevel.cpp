@@ -1,0 +1,110 @@
+// Tests for the multilevel partitioner (the METIS/ParMETIS stand-in).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/simple.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+namespace {
+
+TEST(Multilevel, SinglePartIsTrivial) {
+  const Graph g = grid_2d(8, 8);
+  const Partition p = multilevel_partition(g, 1);
+  EXPECT_EQ(p.num_parts(), 1);
+  EXPECT_EQ(compute_metrics(g, p).edge_cut, 0);
+}
+
+TEST(Multilevel, RejectsMorePartsThanVertices) {
+  const Graph g = path(4);
+  EXPECT_THROW((void)multilevel_partition(g, 5), Error);
+}
+
+TEST(Multilevel, CoversAllPartsOnGrid) {
+  const Graph g = grid_2d(32, 32);
+  const Partition p = multilevel_partition(g, 8);
+  EXPECT_EQ(p.num_parts(), 8);
+  const auto sizes = p.part_sizes();
+  for (VertexId s : sizes) EXPECT_GT(s, 0);
+}
+
+TEST(Multilevel, BeatsRandomPartitionOnCut) {
+  const Graph g = grid_2d(32, 32);
+  const auto ml = compute_metrics(g, multilevel_partition(g, 8));
+  const auto rnd =
+      compute_metrics(g, random_partition(g.num_vertices(), 8, 1));
+  EXPECT_LT(ml.cut_fraction, 0.5 * rnd.cut_fraction);
+}
+
+TEST(Multilevel, RespectsBalanceBound) {
+  const Graph g = erdos_renyi(2000, 8000, WeightKind::kUniformRandom, 2);
+  MultilevelConfig cfg = MultilevelConfig::metis_like();
+  const Partition p = multilevel_partition(g, 16, cfg);
+  const auto m = compute_metrics(g, p);
+  // Mild slack over the configured bound: stragglers may overfill slightly.
+  EXPECT_LT(m.imbalance, cfg.max_imbalance + 0.35);
+}
+
+TEST(Multilevel, MetisLikeBeatsParmetisLike) {
+  const Graph g = circuit_like(4000, 8000);
+  const auto good = compute_metrics(
+      g, multilevel_partition(g, 32, MultilevelConfig::metis_like()));
+  const auto bad = compute_metrics(
+      g, multilevel_partition(g, 32, MultilevelConfig::parmetis_like()));
+  EXPECT_LT(good.cut_fraction, bad.cut_fraction);
+}
+
+TEST(Multilevel, DeterministicGivenSeed) {
+  const Graph g = erdos_renyi(500, 2000, WeightKind::kUniformRandom, 3);
+  const Partition a =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(7));
+  const Partition b =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(7));
+  EXPECT_EQ(a.owners(), b.owners());
+}
+
+TEST(Multilevel, HandlesStarGraph) {
+  // Coarsening barely shrinks a star; the bail-out path must kick in.
+  const Graph g = star(500);
+  const Partition p = multilevel_partition(g, 4);
+  EXPECT_EQ(p.num_vertices(), 500);
+}
+
+TEST(Multilevel, HandlesDisconnectedGraph) {
+  GraphBuilder b(100, true);
+  for (VertexId v = 0; v + 1 < 50; ++v) b.add_edge(v, v + 1, 1.0);
+  for (VertexId v = 50; v + 1 < 100; ++v) b.add_edge(v, v + 1, 1.0);
+  const Graph g = std::move(b).build();
+  const Partition p = multilevel_partition(g, 4);
+  const auto sizes = p.part_sizes();
+  for (VertexId s : sizes) EXPECT_GT(s, 0);
+}
+
+/// Sweep: (parts, seed) combinations keep the partition structurally sound.
+class MultilevelSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MultilevelSweep, PartitionIsSound) {
+  const auto [parts, seed] = GetParam();
+  const Graph g = circuit_like(1500, 3000, 6, WeightKind::kUniformRandom, 9);
+  const Partition p = multilevel_partition(
+      g, static_cast<Rank>(parts), MultilevelConfig::metis_like(seed));
+  EXPECT_EQ(p.num_parts(), parts);
+  EXPECT_EQ(p.num_vertices(), g.num_vertices());
+  const auto m = compute_metrics(g, p);
+  EXPECT_LE(m.cut_fraction, 1.0);
+  const auto sizes = p.part_sizes();
+  for (VertexId s : sizes) EXPECT_GT(s, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartsAndSeeds, MultilevelSweep,
+    ::testing::Combine(::testing::Values(2, 3, 8, 17, 64),
+                       ::testing::Values(0u, 1u, 42u)));
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,122 @@
+// Tests for the simple partitions and partition metrics.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+#include "partition/simple.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+namespace {
+
+TEST(Partition, ConstructorValidatesOwners) {
+  EXPECT_NO_THROW(Partition(2, {0, 1, 0}));
+  EXPECT_THROW(Partition(2, {0, 2, 0}), Error);
+  EXPECT_THROW(Partition(2, {0, -1}), Error);
+  EXPECT_THROW(Partition(0, {}), Error);
+}
+
+TEST(Partition, VerticesOfAndSizes) {
+  const Partition p(3, {0, 1, 0, 2, 1});
+  EXPECT_EQ(p.vertices_of(0), (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(p.part_sizes(), (std::vector<VertexId>{2, 2, 1}));
+}
+
+TEST(BlockPartition, ContiguousAndBalanced) {
+  const Partition p = block_partition(10, 3);
+  EXPECT_EQ(p.num_parts(), 3);
+  // Non-decreasing owners, sizes within 1 of each other.
+  for (VertexId v = 1; v < 10; ++v) {
+    EXPECT_LE(p.owner(v - 1), p.owner(v));
+  }
+  const auto sizes = p.part_sizes();
+  const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*mx - *mn, 1);
+}
+
+TEST(CyclicPartition, RoundRobin) {
+  const Partition p = cyclic_partition(7, 3);
+  EXPECT_EQ(p.owner(0), 0);
+  EXPECT_EQ(p.owner(4), 1);
+  EXPECT_EQ(p.owner(5), 2);
+}
+
+TEST(RandomPartition, CoversAllParts) {
+  const Partition p = random_partition(1000, 8, 1);
+  const auto sizes = p.part_sizes();
+  for (VertexId s : sizes) EXPECT_GT(s, 0);
+}
+
+TEST(GridPartition, BlocksAreRectangles) {
+  // 4x6 grid on a 2x2 processor grid: blocks of 2x3.
+  const Partition p = grid_2d_partition(4, 6, 2, 2);
+  EXPECT_EQ(p.num_parts(), 4);
+  EXPECT_EQ(p.owner(0), 0);            // (0,0)
+  EXPECT_EQ(p.owner(3), 1);            // (0,3)
+  EXPECT_EQ(p.owner(2 * 6 + 0), 2);    // (2,0)
+  EXPECT_EQ(p.owner(3 * 6 + 5), 3);    // (3,5)
+  const auto sizes = p.part_sizes();
+  for (VertexId s : sizes) EXPECT_EQ(s, 6);
+}
+
+TEST(GridPartition, RejectsOversizedProcessorGrid) {
+  EXPECT_THROW((void)grid_2d_partition(2, 2, 3, 1), Error);
+}
+
+TEST(FactorProcessorGrid, NearSquareFactors) {
+  Rank pr = 0, pc = 0;
+  factor_processor_grid(16, pr, pc);
+  EXPECT_EQ(pr, 4);
+  EXPECT_EQ(pc, 4);
+  factor_processor_grid(12, pr, pc);
+  EXPECT_EQ(pr, 3);
+  EXPECT_EQ(pc, 4);
+  factor_processor_grid(7, pr, pc);
+  EXPECT_EQ(pr, 1);
+  EXPECT_EQ(pc, 7);
+  factor_processor_grid(1, pr, pc);
+  EXPECT_EQ(pr * pc, 1);
+}
+
+TEST(Metrics, GridBlocksHaveLowCut) {
+  const Graph g = grid_2d(16, 16);
+  const Partition blocks = grid_2d_partition(16, 16, 4, 4);
+  const Partition random = random_partition(g.num_vertices(), 16, 1);
+  const auto mb = compute_metrics(g, blocks);
+  const auto mr = compute_metrics(g, random);
+  EXPECT_LT(mb.cut_fraction, 0.3);
+  EXPECT_GT(mr.cut_fraction, 0.7);
+  EXPECT_LT(mb.edge_cut, mr.edge_cut);
+  EXPECT_NEAR(mb.imbalance, 1.0, 1e-9);
+}
+
+TEST(Metrics, SinglePartHasNoCut) {
+  const Graph g = grid_2d(5, 5);
+  const Partition p = block_partition(g.num_vertices(), 1);
+  const auto m = compute_metrics(g, p);
+  EXPECT_EQ(m.edge_cut, 0);
+  EXPECT_EQ(m.boundary_vertices, 0);
+  EXPECT_DOUBLE_EQ(m.cut_fraction, 0.0);
+}
+
+TEST(Metrics, BoundaryFlagsMatchDefinition) {
+  const Graph g = path(4);  // 0-1-2-3
+  const Partition p(2, {0, 0, 1, 1});
+  const auto flags = boundary_flags(g, p);
+  EXPECT_FALSE(flags[0]);
+  EXPECT_TRUE(flags[1]);
+  EXPECT_TRUE(flags[2]);
+  EXPECT_FALSE(flags[3]);
+  const auto m = compute_metrics(g, p);
+  EXPECT_EQ(m.edge_cut, 1);
+  EXPECT_EQ(m.boundary_vertices, 2);
+}
+
+TEST(Metrics, MismatchedSizesThrow) {
+  const Graph g = path(4);
+  const Partition p(2, {0, 1});
+  EXPECT_THROW((void)compute_metrics(g, p), Error);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,364 @@
+// Tests for the simulated runtime: machine model, serialization, the
+// asynchronous EventEngine and the superstep BspEngine.
+#include <gtest/gtest.h>
+
+#include "runtime/bsp_engine.hpp"
+#include "runtime/event_engine.hpp"
+#include "runtime/machine_model.hpp"
+#include "runtime/serialize.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+namespace {
+
+// ---- machine model ---------------------------------------------------------
+
+TEST(MachineModel, MessageCostIncludesHeaderAndLatency) {
+  MachineModel m;
+  m.latency = 1e-6;
+  m.seconds_per_byte = 1e-9;
+  m.header_bytes = 32.0;
+  EXPECT_DOUBLE_EQ(m.message_seconds(0.0), 1e-6 + 32e-9);
+  EXPECT_DOUBLE_EQ(m.message_seconds(968.0), 1e-6 + 1000e-9);
+}
+
+TEST(MachineModel, CollectiveScalesLogarithmically) {
+  const MachineModel m = MachineModel::blue_gene_p();
+  EXPECT_DOUBLE_EQ(m.collective_seconds(1), 0.0);
+  EXPECT_GT(m.collective_seconds(2), 0.0);
+  EXPECT_NEAR(m.collective_seconds(1024) / m.collective_seconds(2), 10.0,
+              1e-9);
+}
+
+TEST(MachineModel, ZeroCostReallyIsFree) {
+  const MachineModel m = MachineModel::zero_cost();
+  EXPECT_DOUBLE_EQ(m.message_seconds(1e6), 0.0);
+  EXPECT_DOUBLE_EQ(m.collective_seconds(4096), 0.0);
+}
+
+// ---- serialization -----------------------------------------------------------
+
+TEST(Serialize, RoundTripsMixedTypes) {
+  ByteWriter w;
+  w.put<std::uint8_t>(7);
+  w.put<std::int64_t>(-123456789);
+  w.put<double>(3.25);
+  const auto bytes = std::vector<std::byte>(w.take());
+  ByteReader r(bytes);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_EQ(r.get<std::int64_t>(), -123456789);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, UnderflowThrows) {
+  ByteWriter w;
+  w.put<std::uint8_t>(1);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  (void)r.get<std::uint8_t>();
+  EXPECT_THROW((void)r.get<std::int64_t>(), Error);
+}
+
+// ---- event engine -------------------------------------------------------------
+
+/// Ping-pong process: rank 0 sends `rounds` pings; rank 1 echoes.
+class PingPong final : public Process {
+ public:
+  PingPong(Rank peer, bool initiator, int rounds)
+      : peer_(peer), initiator_(initiator), rounds_(rounds) {}
+
+  void start(EventContext& ctx) override {
+    if (initiator_) {
+      ctx.charge(1.0);
+      ctx.send(peer_, make_payload(0), 1);
+    }
+  }
+
+  void handle(EventContext& ctx, Rank src,
+              std::span<const std::byte> payload) override {
+    EXPECT_EQ(src, peer_);
+    ByteReader r(payload);
+    const int hop = r.get<int>();
+    ++received_;
+    if (hop + 1 < 2 * rounds_) {
+      ctx.charge(1.0);
+      ctx.send(peer_, make_payload(hop + 1), 1);
+    } else {
+      finished_ = true;
+    }
+    if (initiator_ && hop + 2 >= 2 * rounds_) finished_ = true;
+  }
+
+  [[nodiscard]] bool done() const override {
+    return finished_ || received_ >= rounds_;
+  }
+
+  [[nodiscard]] int received() const { return received_; }
+
+ private:
+  static std::vector<std::byte> make_payload(int hop) {
+    ByteWriter w;
+    w.put(hop);
+    return w.take();
+  }
+  Rank peer_;
+  bool initiator_;
+  int rounds_;
+  int received_ = 0;
+  bool finished_ = false;
+};
+
+TEST(EventEngine, PingPongCompletesWithModeledTime) {
+  EventEngine engine(MachineModel::blue_gene_p());
+  engine.add_process(std::make_unique<PingPong>(1, true, 5));
+  engine.add_process(std::make_unique<PingPong>(0, false, 5));
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.comm.messages, 10);
+  EXPECT_GT(result.sim_seconds, 0.0);
+  // 10 hops, each at least one latency.
+  EXPECT_GE(result.sim_seconds, 10 * MachineModel::blue_gene_p().latency);
+}
+
+/// Captures delivery order of two differently-sized messages.
+class OrderRecorder final : public Process {
+ public:
+  void start(EventContext&) override {}
+  void handle(EventContext&, Rank, std::span<const std::byte> payload) override {
+    sizes.push_back(payload.size());
+  }
+  [[nodiscard]] bool done() const override { return true; }
+  std::vector<std::size_t> sizes;
+};
+
+/// Sends a large then a small message to rank 1.
+class BurstSender final : public Process {
+ public:
+  void start(EventContext& ctx) override {
+    ctx.send(1, std::vector<std::byte>(10000), 1);  // slow (big) message
+    ctx.send(1, std::vector<std::byte>(4), 1);      // fast (small) message
+  }
+  void handle(EventContext&, Rank, std::span<const std::byte>) override {}
+  [[nodiscard]] bool done() const override { return true; }
+};
+
+TEST(EventEngine, ChannelFifoPreventsOvertaking) {
+  // Without the FIFO rule the 4-byte message would arrive first.
+  EventEngine engine(MachineModel::blue_gene_p());
+  engine.add_process(std::make_unique<BurstSender>());
+  engine.add_process(std::make_unique<OrderRecorder>());
+  (void)engine.run();
+  const auto& recorder = static_cast<OrderRecorder&>(engine.process(1));
+  ASSERT_EQ(recorder.sizes.size(), 2u);
+  EXPECT_EQ(recorder.sizes[0], 10000u);
+  EXPECT_EQ(recorder.sizes[1], 4u);
+}
+
+/// A process that never finishes and never communicates: deadlock.
+class Stuck final : public Process {
+ public:
+  void start(EventContext&) override {}
+  void handle(EventContext&, Rank, std::span<const std::byte>) override {}
+  [[nodiscard]] bool done() const override { return false; }
+  [[nodiscard]] std::string debug_state() const override { return "stuck"; }
+};
+
+TEST(EventEngine, DetectsDeadlockWithDiagnostics) {
+  EventEngine engine(MachineModel::zero_cost());
+  engine.add_process(std::make_unique<Stuck>());
+  try {
+    (void)engine.run();
+    FAIL() << "expected deadlock error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck"), std::string::npos);
+  }
+}
+
+/// Uses idle() to finish after quiescence.
+class IdleFinisher final : public Process {
+ public:
+  void start(EventContext&) override {}
+  void handle(EventContext&, Rank, std::span<const std::byte>) override {}
+  void idle(EventContext& ctx) override {
+    ctx.charge(1.0);
+    finished_ = true;
+  }
+  [[nodiscard]] bool done() const override { return finished_; }
+
+ private:
+  bool finished_ = false;
+};
+
+TEST(EventEngine, IdleCallbackUnblocksQuiescentRanks) {
+  EventEngine engine(MachineModel::zero_cost());
+  engine.add_process(std::make_unique<IdleFinisher>());
+  EXPECT_NO_THROW((void)engine.run());
+}
+
+TEST(EventEngine, RunTwiceIsRejected) {
+  EventEngine engine(MachineModel::zero_cost());
+  engine.add_process(std::make_unique<IdleFinisher>());
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), Error);
+}
+
+/// Failure injection: a sender emits a truncated record; the receiving
+/// process's decoder must fail loudly (ByteReader underflow), and the error
+/// must propagate out of run() rather than being swallowed.
+class TruncatedSender final : public Process {
+ public:
+  void start(EventContext& ctx) override {
+    ByteWriter w;
+    w.put<std::uint8_t>(1);  // record type, but the required body is missing
+    ctx.send(1, w.take(), 1);
+  }
+  void handle(EventContext&, Rank, std::span<const std::byte>) override {}
+  [[nodiscard]] bool done() const override { return true; }
+};
+
+class StrictReceiver final : public Process {
+ public:
+  void start(EventContext&) override {}
+  void handle(EventContext&, Rank, std::span<const std::byte> payload) override {
+    ByteReader r(payload);
+    (void)r.get<std::uint8_t>();
+    (void)r.get<std::int64_t>();  // underflow -> pmc::Error
+  }
+  [[nodiscard]] bool done() const override { return true; }
+};
+
+TEST(EventEngine, MalformedPayloadPropagatesAsError) {
+  EventEngine engine(MachineModel::zero_cost());
+  engine.add_process(std::make_unique<TruncatedSender>());
+  engine.add_process(std::make_unique<StrictReceiver>());
+  try {
+    (void)engine.run();
+    FAIL() << "expected underflow error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("underflow"), std::string::npos);
+  }
+}
+
+TEST(EventEngine, JitterIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    EventEngine engine(MachineModel::blue_gene_p(), 1e-4, seed);
+    engine.add_process(std::make_unique<PingPong>(1, true, 4));
+    engine.add_process(std::make_unique<PingPong>(0, false, 4));
+    return engine.run().sim_seconds;
+  };
+  EXPECT_DOUBLE_EQ(run_once(3), run_once(3));
+  EXPECT_NE(run_once(3), run_once(4));
+}
+
+TEST(EventEngine, SelfSendRejected) {
+  class SelfSender final : public Process {
+   public:
+    void start(EventContext& ctx) override {
+      ctx.send(0, {}, 0);  // rank 0 sending to itself
+    }
+    void handle(EventContext&, Rank, std::span<const std::byte>) override {}
+    [[nodiscard]] bool done() const override { return true; }
+  };
+  EventEngine engine(MachineModel::zero_cost());
+  engine.add_process(std::make_unique<SelfSender>());
+  EXPECT_THROW((void)engine.run(), Error);
+}
+
+// ---- bsp engine -----------------------------------------------------------------
+
+TEST(BspEngine, PollRespectsArrivalTimes) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  ByteWriter w;
+  w.put<int>(42);
+  engine.send(0, 1, w.take(), 1);
+  // Rank 1's clock is still 0 — the message has not "arrived" yet.
+  EXPECT_TRUE(engine.poll(1).empty());
+  // Advance rank 1 beyond the arrival time.
+  engine.charge(1, 1e9);
+  const auto msgs = engine.poll(1);
+  ASSERT_EQ(msgs.size(), 1u);
+  ByteReader r(msgs[0].payload);
+  EXPECT_EQ(r.get<int>(), 42);
+}
+
+TEST(BspEngine, BarrierDeliversEverything) {
+  BspEngine engine(3, MachineModel::blue_gene_p());
+  engine.send(0, 2, std::vector<std::byte>(8), 1);
+  engine.send(1, 2, std::vector<std::byte>(8), 1);
+  engine.barrier();
+  EXPECT_EQ(engine.drain(2).size(), 2u);
+  EXPECT_EQ(engine.comm().collectives, 1);
+  // All clocks equal after a barrier.
+  EXPECT_DOUBLE_EQ(engine.now(0), engine.now(1));
+  EXPECT_DOUBLE_EQ(engine.now(1), engine.now(2));
+}
+
+TEST(BspEngine, BarrierAdvancesPastInFlightArrivals) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  engine.charge(0, 1000.0);
+  engine.send(0, 1, std::vector<std::byte>(100), 1);
+  const double sender_time = engine.now(0);
+  engine.barrier();
+  EXPECT_GT(engine.now(1), sender_time);
+}
+
+TEST(BspEngine, ChargeAccumulatesWork) {
+  MachineModel m = MachineModel::zero_cost();
+  m.seconds_per_work = 2.0;
+  BspEngine engine(1, m);
+  engine.charge(0, 3.0);
+  EXPECT_DOUBLE_EQ(engine.now(0), 6.0);
+  EXPECT_DOUBLE_EQ(engine.time(), 6.0);
+}
+
+TEST(BspEngine, FifoWithinChannel) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  engine.send(0, 1, std::vector<std::byte>(10000), 1);
+  engine.send(0, 1, std::vector<std::byte>(2), 1);
+  engine.barrier();
+  const auto msgs = engine.drain(1);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].payload.size(), 10000u);
+  EXPECT_LE(msgs[0].arrival, msgs[1].arrival);
+}
+
+TEST(BspEngine, CommStatsCount) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  engine.send(0, 1, std::vector<std::byte>(10), 3);
+  engine.send(1, 0, std::vector<std::byte>(20), 2);
+  EXPECT_EQ(engine.comm().messages, 2);
+  EXPECT_EQ(engine.comm().records, 5);
+  EXPECT_GT(engine.comm().bytes, 30);
+}
+
+TEST(BspEngine, LoadStatsTrackChargedCompute) {
+  MachineModel m = MachineModel::zero_cost();
+  m.seconds_per_work = 1.0;
+  BspEngine engine(3, m);
+  engine.charge(0, 1.0);
+  engine.charge(1, 2.0);
+  engine.charge(2, 6.0);
+  const LoadStats load = engine.load_stats();
+  EXPECT_DOUBLE_EQ(load.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(load.max_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(load.mean_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(load.imbalance(), 2.0);
+}
+
+TEST(BspEngine, LoadStatsUnaffectedByBarriers) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  engine.charge(0, 100.0);
+  engine.barrier();  // synchronizes clocks, not charged compute
+  const LoadStats load = engine.load_stats();
+  EXPECT_GT(load.max_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(load.min_seconds, 0.0);
+}
+
+TEST(BspEngine, RejectsInvalidSends) {
+  BspEngine engine(2, MachineModel::zero_cost());
+  EXPECT_THROW(engine.send(0, 0, {}, 0), Error);
+  EXPECT_THROW(engine.send(0, 5, {}, 0), Error);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,253 @@
+// Unit tests for the support library: errors, RNG, stats, tables, CSV,
+// options.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace pmc {
+namespace {
+
+// ---- error macros ---------------------------------------------------------
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    PMC_CHECK(1 == 2, "math broke: " << 42);
+    FAIL() << "expected pmc::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke: 42"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesWhenTrue) {
+  EXPECT_NO_THROW(PMC_REQUIRE(2 + 2 == 4, "fine"));
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(PMC_FAIL("unreachable"), Error);
+}
+
+// ---- RNG -------------------------------------------------------------------
+
+TEST(Rng, SplitMixIsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Rng, XoshiroSameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, XoshiroDifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(-5, 17);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(9, 9), 9);
+  }
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform_int(3, 2), Error);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniform_int(0, 7));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DeriveSeedSeparatesStreams) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(9, 4), derive_seed(9, 4));
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Stats, OnlineStatsBasics) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, VarianceOfSingleSampleIsZero) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  EXPECT_THROW((void)quantile({}, 0.5), Error);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)quantile(v, 1.5), Error);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+  const std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(bad), Error);
+}
+
+// ---- tables ------------------------------------------------------------------
+
+TEST(Table, RendersAlignedCells) {
+  TextTable t({"name", "value"}, {Align::kLeft, Align::kRight});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("| 12345 |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CellFormatters) {
+  EXPECT_EQ(cell(1.5, 2), "1.50");
+  EXPECT_EQ(cell_count(1365724), "1,365,724");
+  EXPECT_EQ(cell_count(-42), "-42");
+  EXPECT_EQ(cell_count(0), "0");
+  EXPECT_EQ(cell_pct(0.9936, 2), "99.36%");
+  // Note: 0.03125 is a round-half tie and would round to even ("3.12E-02");
+  // use an unambiguous value.
+  EXPECT_EQ(cell_sci(0.0313, 2), "3.13E-02");
+}
+
+// ---- CSV ---------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/pmc_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"a", "b,c"});
+    w.write_row({"1", "2"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\"");
+  EXPECT_EQ(line2, "1,2");
+}
+
+// ---- options -------------------------------------------------------------------
+
+TEST(Options, ParsesAllForms) {
+  Options opts;
+  opts.add("ranks", "4", "rank count");
+  opts.add("scale", "1.0", "scale factor");
+  opts.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog", "--ranks=16", "--scale", "2.5", "--verbose"};
+  const auto positional = opts.parse(5, argv);
+  EXPECT_TRUE(positional.empty());
+  EXPECT_EQ(opts.get_int("ranks"), 16);
+  EXPECT_DOUBLE_EQ(opts.get_double("scale"), 2.5);
+  EXPECT_TRUE(opts.get_flag("verbose"));
+  EXPECT_TRUE(opts.supplied("ranks"));
+}
+
+TEST(Options, DefaultsApplyWhenAbsent) {
+  Options opts;
+  opts.add("ranks", "4", "rank count");
+  opts.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog"};
+  (void)opts.parse(1, argv);
+  EXPECT_EQ(opts.get_int("ranks"), 4);
+  EXPECT_FALSE(opts.get_flag("verbose"));
+  EXPECT_FALSE(opts.supplied("ranks"));
+}
+
+TEST(Options, RejectsUnknownAndMalformed) {
+  Options opts;
+  opts.add("ranks", "4", "rank count");
+  const char* bad1[] = {"prog", "--bogus=1"};
+  EXPECT_THROW((void)opts.parse(2, bad1), Error);
+  const char* bad2[] = {"prog", "--ranks", "not-a-number"};
+  (void)opts.parse(3, bad2);
+  EXPECT_THROW((void)opts.get_int("ranks"), Error);
+}
+
+TEST(Options, CollectsPositionalArguments) {
+  Options opts;
+  const char* argv[] = {"prog", "input.mtx", "more"};
+  const auto positional = opts.parse(3, argv);
+  ASSERT_EQ(positional.size(), 2u);
+  EXPECT_EQ(positional[0], "input.mtx");
+}
+
+TEST(Options, HelpListsDeclaredOptions) {
+  Options opts;
+  opts.add("ranks", "4", "rank count");
+  const std::string h = opts.help("prog");
+  EXPECT_NE(h.find("--ranks"), std::string::npos);
+  EXPECT_NE(h.find("rank count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmc

@@ -1,0 +1,63 @@
+// Shared helpers for the pmc test suite.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "matching/matching.hpp"
+#include "support/types.hpp"
+
+namespace pmc::test {
+
+/// Exhaustive maximum-weight matching by branching over the edge list.
+/// Exponential — only for graphs with at most ~20 edges.
+inline Weight brute_force_max_weight_matching(const Graph& g) {
+  struct E {
+    VertexId u;
+    VertexId v;
+    Weight w;
+  };
+  std::vector<E> edges;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v) {
+        edges.push_back(E{v, nbrs[i], g.has_weights() ? ws[i] : Weight{1}});
+      }
+    }
+  }
+  std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);
+  Weight best = 0;
+  auto recurse = [&](auto&& self, std::size_t idx, Weight acc) -> void {
+    best = std::max(best, acc);
+    for (std::size_t i = idx; i < edges.size(); ++i) {
+      const auto& e = edges[i];
+      if (used[static_cast<std::size_t>(e.u)] ||
+          used[static_cast<std::size_t>(e.v)]) {
+        continue;
+      }
+      used[static_cast<std::size_t>(e.u)] = true;
+      used[static_cast<std::size_t>(e.v)] = true;
+      self(self, i + 1, acc + e.w);
+      used[static_cast<std::size_t>(e.u)] = false;
+      used[static_cast<std::size_t>(e.v)] = false;
+    }
+  };
+  recurse(recurse, 0, Weight{0});
+  return best;
+}
+
+/// Pretty label for parameterized tests.
+inline std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+}  // namespace pmc::test

@@ -1,0 +1,94 @@
+// Tests for the vertex-weighted matching module (paper reference [9]).
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/vertex_weighted.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pmc {
+namespace {
+
+std::vector<Weight> random_vertex_weights(VertexId n, std::uint64_t seed) {
+  std::vector<Weight> w(static_cast<std::size_t>(n));
+  Rng rng(derive_seed(seed, 0x77));
+  for (auto& x : w) x = rng.uniform_double(0.1, 10.0);
+  return w;
+}
+
+TEST(VertexWeighted, WeightCountsMatchedVerticesOnly) {
+  Matching m;
+  m.mate = {1, 0, kNoVertex};
+  const std::vector<Weight> w{2.0, 3.0, 100.0};
+  EXPECT_DOUBLE_EQ(vertex_matching_weight(m, w), 5.0);
+}
+
+TEST(VertexWeighted, GreedyPrefersHeavyVertices) {
+  // Path a-b-c with w(a)=1, w(b)=5, w(c)=4: greedy starts at b, matches its
+  // heaviest neighbor c => total 9 (optimal; matching a-b earns only 6).
+  const Graph g = path(3);
+  const std::vector<Weight> w{1.0, 5.0, 4.0};
+  const Matching m = vertex_weighted_greedy_matching(g, w);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_EQ(m.mate[1], 2);
+  EXPECT_DOUBLE_EQ(vertex_matching_weight(m, w), 9.0);
+}
+
+TEST(VertexWeighted, GreedyIsMaximal) {
+  const Graph g = erdos_renyi(300, 900, WeightKind::kUnit, 1);
+  const auto w = random_vertex_weights(300, 1);
+  const Matching m = vertex_weighted_greedy_matching(g, w);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(VertexWeighted, RejectsBadInput) {
+  const Graph g = path(3);
+  EXPECT_THROW(
+      (void)vertex_weighted_greedy_matching(g, std::vector<Weight>{1.0}),
+      Error);
+  EXPECT_THROW((void)vertex_weighted_greedy_matching(
+                   g, std::vector<Weight>{1.0, -2.0, 1.0}),
+               Error);
+}
+
+TEST(VertexWeighted, ExactBipartiteBeatsGreedyWithinFactorTwo) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    BipartiteInfo info;
+    const Graph g = random_bipartite(25, 30, 120, info, WeightKind::kUnit,
+                                     seed);
+    const auto w = random_vertex_weights(g.num_vertices(), seed);
+    const Matching greedy = vertex_weighted_greedy_matching(g, w);
+    const Matching exact = exact_max_vertex_weight_bipartite(g, info, w);
+    EXPECT_TRUE(is_valid_matching(g, exact));
+    const Weight wg = vertex_matching_weight(greedy, w);
+    const Weight we = vertex_matching_weight(exact, w);
+    EXPECT_GE(we, wg - 1e-9);
+    EXPECT_GE(wg, 0.5 * we - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(VertexWeighted, UniformWeightsReduceToCardinality) {
+  BipartiteInfo info;
+  const Graph g = random_bipartite(15, 15, 60, info, WeightKind::kUnit, 3);
+  const std::vector<Weight> uniform(static_cast<std::size_t>(g.num_vertices()),
+                                    1.0);
+  const Matching exact = exact_max_vertex_weight_bipartite(g, info, uniform);
+  // With uniform weights the objective is 2 * cardinality.
+  EXPECT_DOUBLE_EQ(vertex_matching_weight(exact, uniform),
+                   2.0 * static_cast<double>(exact.cardinality()));
+}
+
+TEST(VertexWeighted, ZeroWeightVerticesAreHarmless) {
+  const Graph g = star(5);
+  std::vector<Weight> w{0.0, 1.0, 2.0, 3.0, 4.0};
+  const Matching m = vertex_weighted_greedy_matching(g, w);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  // Star: only one edge can be matched; the heaviest leaf (4) pairs with
+  // the hub.
+  EXPECT_EQ(m.mate[4], 0);
+}
+
+}  // namespace
+}  // namespace pmc
