@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_jones_plassmann.dir/bench_ablation_jones_plassmann.cpp.o"
+  "CMakeFiles/bench_ablation_jones_plassmann.dir/bench_ablation_jones_plassmann.cpp.o.d"
+  "bench_ablation_jones_plassmann"
+  "bench_ablation_jones_plassmann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_jones_plassmann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_superstep.dir/bench_ablation_superstep.cpp.o"
+  "CMakeFiles/bench_ablation_superstep.dir/bench_ablation_superstep.cpp.o.d"
+  "bench_ablation_superstep"
+  "bench_ablation_superstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_superstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

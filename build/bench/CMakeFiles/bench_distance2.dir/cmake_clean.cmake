@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distance2.dir/bench_distance2.cpp.o"
+  "CMakeFiles/bench_distance2.dir/bench_distance2.cpp.o.d"
+  "bench_distance2"
+  "bench_distance2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distance2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_5_2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagonal_dominance.dir/diagonal_dominance.cpp.o"
+  "CMakeFiles/diagonal_dominance.dir/diagonal_dominance.cpp.o.d"
+  "diagonal_dominance"
+  "diagonal_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagonal_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtx_tool.dir/mtx_tool.cpp.o"
+  "CMakeFiles/mtx_tool.dir/mtx_tool.cpp.o.d"
+  "mtx_tool"
+  "mtx_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtx_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_coarsening.dir/multilevel_coarsening.cpp.o"
+  "CMakeFiles/multilevel_coarsening.dir/multilevel_coarsening.cpp.o.d"
+  "multilevel_coarsening"
+  "multilevel_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

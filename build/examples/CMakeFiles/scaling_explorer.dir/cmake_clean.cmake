@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_explorer.dir/scaling_explorer.cpp.o"
+  "CMakeFiles/scaling_explorer.dir/scaling_explorer.cpp.o.d"
+  "scaling_explorer"
+  "scaling_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

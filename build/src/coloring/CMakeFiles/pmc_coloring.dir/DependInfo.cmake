@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coloring/coloring.cpp" "src/coloring/CMakeFiles/pmc_coloring.dir/coloring.cpp.o" "gcc" "src/coloring/CMakeFiles/pmc_coloring.dir/coloring.cpp.o.d"
+  "/root/repo/src/coloring/distance2.cpp" "src/coloring/CMakeFiles/pmc_coloring.dir/distance2.cpp.o" "gcc" "src/coloring/CMakeFiles/pmc_coloring.dir/distance2.cpp.o.d"
+  "/root/repo/src/coloring/distance2_parallel.cpp" "src/coloring/CMakeFiles/pmc_coloring.dir/distance2_parallel.cpp.o" "gcc" "src/coloring/CMakeFiles/pmc_coloring.dir/distance2_parallel.cpp.o.d"
+  "/root/repo/src/coloring/jones_plassmann.cpp" "src/coloring/CMakeFiles/pmc_coloring.dir/jones_plassmann.cpp.o" "gcc" "src/coloring/CMakeFiles/pmc_coloring.dir/jones_plassmann.cpp.o.d"
+  "/root/repo/src/coloring/parallel.cpp" "src/coloring/CMakeFiles/pmc_coloring.dir/parallel.cpp.o" "gcc" "src/coloring/CMakeFiles/pmc_coloring.dir/parallel.cpp.o.d"
+  "/root/repo/src/coloring/parallel_verify.cpp" "src/coloring/CMakeFiles/pmc_coloring.dir/parallel_verify.cpp.o" "gcc" "src/coloring/CMakeFiles/pmc_coloring.dir/parallel_verify.cpp.o.d"
+  "/root/repo/src/coloring/sequential.cpp" "src/coloring/CMakeFiles/pmc_coloring.dir/sequential.cpp.o" "gcc" "src/coloring/CMakeFiles/pmc_coloring.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pmc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pmc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pmc_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_coloring.dir/coloring.cpp.o"
+  "CMakeFiles/pmc_coloring.dir/coloring.cpp.o.d"
+  "CMakeFiles/pmc_coloring.dir/distance2.cpp.o"
+  "CMakeFiles/pmc_coloring.dir/distance2.cpp.o.d"
+  "CMakeFiles/pmc_coloring.dir/distance2_parallel.cpp.o"
+  "CMakeFiles/pmc_coloring.dir/distance2_parallel.cpp.o.d"
+  "CMakeFiles/pmc_coloring.dir/jones_plassmann.cpp.o"
+  "CMakeFiles/pmc_coloring.dir/jones_plassmann.cpp.o.d"
+  "CMakeFiles/pmc_coloring.dir/parallel.cpp.o"
+  "CMakeFiles/pmc_coloring.dir/parallel.cpp.o.d"
+  "CMakeFiles/pmc_coloring.dir/parallel_verify.cpp.o"
+  "CMakeFiles/pmc_coloring.dir/parallel_verify.cpp.o.d"
+  "CMakeFiles/pmc_coloring.dir/sequential.cpp.o"
+  "CMakeFiles/pmc_coloring.dir/sequential.cpp.o.d"
+  "libpmc_coloring.a"
+  "libpmc_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_core.dir/api.cpp.o"
+  "CMakeFiles/pmc_core.dir/api.cpp.o.d"
+  "CMakeFiles/pmc_core.dir/experiment.cpp.o"
+  "CMakeFiles/pmc_core.dir/experiment.cpp.o.d"
+  "libpmc_core.a"
+  "libpmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

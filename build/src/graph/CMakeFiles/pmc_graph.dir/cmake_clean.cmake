@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/pmc_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/pmc_graph.dir/builder.cpp.o"
+  "CMakeFiles/pmc_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/pmc_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/pmc_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/pmc_graph.dir/generators.cpp.o"
+  "CMakeFiles/pmc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/pmc_graph.dir/matrix_market.cpp.o"
+  "CMakeFiles/pmc_graph.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/pmc_graph.dir/metis_io.cpp.o"
+  "CMakeFiles/pmc_graph.dir/metis_io.cpp.o.d"
+  "libpmc_graph.a"
+  "libpmc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

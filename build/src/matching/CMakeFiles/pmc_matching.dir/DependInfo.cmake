@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/cardinality.cpp" "src/matching/CMakeFiles/pmc_matching.dir/cardinality.cpp.o" "gcc" "src/matching/CMakeFiles/pmc_matching.dir/cardinality.cpp.o.d"
+  "/root/repo/src/matching/exact_bipartite.cpp" "src/matching/CMakeFiles/pmc_matching.dir/exact_bipartite.cpp.o" "gcc" "src/matching/CMakeFiles/pmc_matching.dir/exact_bipartite.cpp.o.d"
+  "/root/repo/src/matching/matching.cpp" "src/matching/CMakeFiles/pmc_matching.dir/matching.cpp.o" "gcc" "src/matching/CMakeFiles/pmc_matching.dir/matching.cpp.o.d"
+  "/root/repo/src/matching/parallel.cpp" "src/matching/CMakeFiles/pmc_matching.dir/parallel.cpp.o" "gcc" "src/matching/CMakeFiles/pmc_matching.dir/parallel.cpp.o.d"
+  "/root/repo/src/matching/parallel_verify.cpp" "src/matching/CMakeFiles/pmc_matching.dir/parallel_verify.cpp.o" "gcc" "src/matching/CMakeFiles/pmc_matching.dir/parallel_verify.cpp.o.d"
+  "/root/repo/src/matching/sequential.cpp" "src/matching/CMakeFiles/pmc_matching.dir/sequential.cpp.o" "gcc" "src/matching/CMakeFiles/pmc_matching.dir/sequential.cpp.o.d"
+  "/root/repo/src/matching/vertex_weighted.cpp" "src/matching/CMakeFiles/pmc_matching.dir/vertex_weighted.cpp.o" "gcc" "src/matching/CMakeFiles/pmc_matching.dir/vertex_weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pmc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pmc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pmc_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

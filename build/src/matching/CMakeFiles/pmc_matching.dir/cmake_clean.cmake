@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_matching.dir/cardinality.cpp.o"
+  "CMakeFiles/pmc_matching.dir/cardinality.cpp.o.d"
+  "CMakeFiles/pmc_matching.dir/exact_bipartite.cpp.o"
+  "CMakeFiles/pmc_matching.dir/exact_bipartite.cpp.o.d"
+  "CMakeFiles/pmc_matching.dir/matching.cpp.o"
+  "CMakeFiles/pmc_matching.dir/matching.cpp.o.d"
+  "CMakeFiles/pmc_matching.dir/parallel.cpp.o"
+  "CMakeFiles/pmc_matching.dir/parallel.cpp.o.d"
+  "CMakeFiles/pmc_matching.dir/parallel_verify.cpp.o"
+  "CMakeFiles/pmc_matching.dir/parallel_verify.cpp.o.d"
+  "CMakeFiles/pmc_matching.dir/sequential.cpp.o"
+  "CMakeFiles/pmc_matching.dir/sequential.cpp.o.d"
+  "CMakeFiles/pmc_matching.dir/vertex_weighted.cpp.o"
+  "CMakeFiles/pmc_matching.dir/vertex_weighted.cpp.o.d"
+  "libpmc_matching.a"
+  "libpmc_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

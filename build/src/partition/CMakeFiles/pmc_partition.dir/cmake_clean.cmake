@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_partition.dir/io.cpp.o"
+  "CMakeFiles/pmc_partition.dir/io.cpp.o.d"
+  "CMakeFiles/pmc_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/pmc_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/pmc_partition.dir/partition.cpp.o"
+  "CMakeFiles/pmc_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/pmc_partition.dir/simple.cpp.o"
+  "CMakeFiles/pmc_partition.dir/simple.cpp.o.d"
+  "libpmc_partition.a"
+  "libpmc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmc_partition.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bsp_engine.cpp" "src/runtime/CMakeFiles/pmc_runtime.dir/bsp_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/pmc_runtime.dir/bsp_engine.cpp.o.d"
+  "/root/repo/src/runtime/comm_stats.cpp" "src/runtime/CMakeFiles/pmc_runtime.dir/comm_stats.cpp.o" "gcc" "src/runtime/CMakeFiles/pmc_runtime.dir/comm_stats.cpp.o.d"
+  "/root/repo/src/runtime/dist_graph.cpp" "src/runtime/CMakeFiles/pmc_runtime.dir/dist_graph.cpp.o" "gcc" "src/runtime/CMakeFiles/pmc_runtime.dir/dist_graph.cpp.o.d"
+  "/root/repo/src/runtime/event_engine.cpp" "src/runtime/CMakeFiles/pmc_runtime.dir/event_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/pmc_runtime.dir/event_engine.cpp.o.d"
+  "/root/repo/src/runtime/machine_model.cpp" "src/runtime/CMakeFiles/pmc_runtime.dir/machine_model.cpp.o" "gcc" "src/runtime/CMakeFiles/pmc_runtime.dir/machine_model.cpp.o.d"
+  "/root/repo/src/runtime/serialize.cpp" "src/runtime/CMakeFiles/pmc_runtime.dir/serialize.cpp.o" "gcc" "src/runtime/CMakeFiles/pmc_runtime.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pmc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pmc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

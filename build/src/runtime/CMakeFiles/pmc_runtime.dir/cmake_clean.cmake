@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_runtime.dir/bsp_engine.cpp.o"
+  "CMakeFiles/pmc_runtime.dir/bsp_engine.cpp.o.d"
+  "CMakeFiles/pmc_runtime.dir/comm_stats.cpp.o"
+  "CMakeFiles/pmc_runtime.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/pmc_runtime.dir/dist_graph.cpp.o"
+  "CMakeFiles/pmc_runtime.dir/dist_graph.cpp.o.d"
+  "CMakeFiles/pmc_runtime.dir/event_engine.cpp.o"
+  "CMakeFiles/pmc_runtime.dir/event_engine.cpp.o.d"
+  "CMakeFiles/pmc_runtime.dir/machine_model.cpp.o"
+  "CMakeFiles/pmc_runtime.dir/machine_model.cpp.o.d"
+  "CMakeFiles/pmc_runtime.dir/serialize.cpp.o"
+  "CMakeFiles/pmc_runtime.dir/serialize.cpp.o.d"
+  "libpmc_runtime.a"
+  "libpmc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

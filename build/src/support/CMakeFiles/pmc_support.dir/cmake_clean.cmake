@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_support.dir/csv.cpp.o"
+  "CMakeFiles/pmc_support.dir/csv.cpp.o.d"
+  "CMakeFiles/pmc_support.dir/error.cpp.o"
+  "CMakeFiles/pmc_support.dir/error.cpp.o.d"
+  "CMakeFiles/pmc_support.dir/log.cpp.o"
+  "CMakeFiles/pmc_support.dir/log.cpp.o.d"
+  "CMakeFiles/pmc_support.dir/options.cpp.o"
+  "CMakeFiles/pmc_support.dir/options.cpp.o.d"
+  "CMakeFiles/pmc_support.dir/rng.cpp.o"
+  "CMakeFiles/pmc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pmc_support.dir/stats.cpp.o"
+  "CMakeFiles/pmc_support.dir/stats.cpp.o.d"
+  "CMakeFiles/pmc_support.dir/table.cpp.o"
+  "CMakeFiles/pmc_support.dir/table.cpp.o.d"
+  "libpmc_support.a"
+  "libpmc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

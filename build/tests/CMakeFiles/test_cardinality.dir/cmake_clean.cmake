@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cardinality.dir/test_cardinality.cpp.o"
+  "CMakeFiles/test_cardinality.dir/test_cardinality.cpp.o.d"
+  "test_cardinality"
+  "test_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coloring_dist.dir/test_coloring_dist.cpp.o"
+  "CMakeFiles/test_coloring_dist.dir/test_coloring_dist.cpp.o.d"
+  "test_coloring_dist"
+  "test_coloring_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coloring_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coloring_seq.dir/test_coloring_seq.cpp.o"
+  "CMakeFiles/test_coloring_seq.dir/test_coloring_seq.cpp.o.d"
+  "test_coloring_seq"
+  "test_coloring_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coloring_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_verify.dir/test_dist_verify.cpp.o"
+  "CMakeFiles/test_dist_verify.dir/test_dist_verify.cpp.o.d"
+  "test_dist_verify"
+  "test_dist_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

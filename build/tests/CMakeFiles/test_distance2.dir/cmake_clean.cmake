@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance2.dir/test_distance2.cpp.o"
+  "CMakeFiles/test_distance2.dir/test_distance2.cpp.o.d"
+  "test_distance2"
+  "test_distance2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

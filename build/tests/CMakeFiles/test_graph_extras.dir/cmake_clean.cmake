@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_extras.dir/test_graph_extras.cpp.o"
+  "CMakeFiles/test_graph_extras.dir/test_graph_extras.cpp.o.d"
+  "test_graph_extras"
+  "test_graph_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jones_plassmann.dir/test_jones_plassmann.cpp.o"
+  "CMakeFiles/test_jones_plassmann.dir/test_jones_plassmann.cpp.o.d"
+  "test_jones_plassmann"
+  "test_jones_plassmann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jones_plassmann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matching_dist.dir/test_matching_dist.cpp.o"
+  "CMakeFiles/test_matching_dist.dir/test_matching_dist.cpp.o.d"
+  "test_matching_dist"
+  "test_matching_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matching_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matching_exact.dir/test_matching_exact.cpp.o"
+  "CMakeFiles/test_matching_exact.dir/test_matching_exact.cpp.o.d"
+  "test_matching_exact"
+  "test_matching_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matching_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

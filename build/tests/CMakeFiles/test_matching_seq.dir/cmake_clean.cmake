@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matching_seq.dir/test_matching_seq.cpp.o"
+  "CMakeFiles/test_matching_seq.dir/test_matching_seq.cpp.o.d"
+  "test_matching_seq"
+  "test_matching_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matching_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metis_io.dir/test_metis_io.cpp.o"
+  "CMakeFiles/test_metis_io.dir/test_metis_io.cpp.o.d"
+  "test_metis_io"
+  "test_metis_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metis_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_io.dir/test_partition_io.cpp.o"
+  "CMakeFiles/test_partition_io.dir/test_partition_io.cpp.o.d"
+  "test_partition_io"
+  "test_partition_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

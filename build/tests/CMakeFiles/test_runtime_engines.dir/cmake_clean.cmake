@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_engines.dir/test_runtime_engines.cpp.o"
+  "CMakeFiles/test_runtime_engines.dir/test_runtime_engines.cpp.o.d"
+  "test_runtime_engines"
+  "test_runtime_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

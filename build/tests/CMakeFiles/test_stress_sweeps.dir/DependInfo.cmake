@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stress_sweeps.cpp" "tests/CMakeFiles/test_stress_sweeps.dir/test_stress_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_stress_sweeps.dir/test_stress_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/pmc_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/coloring/CMakeFiles/pmc_coloring.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pmc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pmc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pmc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

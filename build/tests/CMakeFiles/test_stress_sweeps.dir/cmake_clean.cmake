@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_sweeps.dir/test_stress_sweeps.cpp.o"
+  "CMakeFiles/test_stress_sweeps.dir/test_stress_sweeps.cpp.o.d"
+  "test_stress_sweeps"
+  "test_stress_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

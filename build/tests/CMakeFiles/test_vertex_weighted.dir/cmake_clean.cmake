@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vertex_weighted.dir/test_vertex_weighted.cpp.o"
+  "CMakeFiles/test_vertex_weighted.dir/test_vertex_weighted.cpp.o.d"
+  "test_vertex_weighted"
+  "test_vertex_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vertex_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
