@@ -12,6 +12,7 @@
 #include "bench_common.hpp"
 
 #include <iostream>
+#include <utility>
 
 namespace pmc::bench {
 namespace {
@@ -21,6 +22,7 @@ int run(int argc, const char** argv) {
   opts.add("vertices", "20000", "circuit graph size");
   opts.add("ranks", "16,64,256", "comma-separated processor counts");
   opts.add("csv", "", "optional CSV output path");
+  opts.add("rounds-csv", "", "optional per-round series CSV output path");
   (void)opts.parse(argc, argv);
   const auto n = static_cast<VertexId>(opts.get_int("vertices"));
 
@@ -43,6 +45,12 @@ int run(int argc, const char** argv) {
   table.set_title("coloring communication-mode comparison");
   CsvSink csv(opts.get("csv"), {"ranks", "mode", "messages", "bytes",
                                 "rounds", "colors", "sim_seconds"});
+  CsvSink rounds_csv(opts.get("rounds-csv"),
+                     {"ranks", "mode", "round", "messages", "records",
+                      "bytes", "collectives"});
+  // Per-round series for the largest processor count, one per mode.
+  std::vector<std::pair<std::string, CommBreakdown>> last_breakdowns;
+  int last_ranks = 0;
 
   for (const int ranks : rank_list) {
     const Partition p = multilevel_partition(
@@ -57,6 +65,8 @@ int run(int argc, const char** argv) {
         {"FIAC", DistColoringOptions::fiac()},
         {"NEW", DistColoringOptions::improved()},
     };
+    if (ranks != last_ranks) last_breakdowns.clear();
+    last_ranks = ranks;
     for (const auto& mode : modes) {
       const auto res = color_distributed(dist, mode.options);
       PMC_CHECK(is_proper_coloring(g, res.coloring), "improper coloring");
@@ -72,9 +82,26 @@ int run(int argc, const char** argv) {
                std::to_string(res.rounds),
                std::to_string(res.coloring.num_colors()),
                std::to_string(res.run.sim_seconds)});
+      for (std::size_t round = 0; round < res.run.breakdown.per_round.size();
+           ++round) {
+        const CommStats& s = res.run.breakdown.per_round[round];
+        rounds_csv.row({std::to_string(ranks), mode.name,
+                        std::to_string(round), std::to_string(s.messages),
+                        std::to_string(s.records), std::to_string(s.bytes),
+                        std::to_string(s.collectives)});
+      }
+      last_breakdowns.emplace_back(mode.name, res.run.breakdown);
     }
   }
   table.print(std::cout);
+  // Per-round curves for the largest processor count: the modes differ most
+  // in the first (busiest) speculative rounds.
+  for (const auto& [name, breakdown] : last_breakdowns) {
+    comm_rounds_table("per-round comm, " + name + ", p=" +
+                          std::to_string(last_ranks),
+                      breakdown)
+        .print(std::cout);
+  }
   std::cout << "(paper §4.2: NEW < FIAC in both count and volume; "
                "FIAC < FIAB in volume only)\n";
   return 0;

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 verify (full build + test suite) followed by an
+# ASan+UBSan build of the runtime- and distributed-algorithm-facing tests.
+#
+#   ./ci.sh          # both stages
+#   ./ci.sh tier1    # tier-1 only
+#   ./ci.sh asan     # sanitizer stage only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+STAGE="${1:-all}"
+
+tier1() {
+  echo "==== tier-1: build + full test suite ===="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+asan() {
+  echo "==== sanitizers: ASan+UBSan on runtime + distributed tests ===="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  # The fabric/engine layer and every simulated distributed algorithm —
+  # the code that moves raw bytes around and is worth sanitizing hardest.
+  local tests=(
+    test_fabric
+    test_determinism_regression
+    test_runtime_engines
+    test_dist_graph
+    test_matching_dist
+    test_coloring_dist
+    test_distance2
+  )
+  cmake --build build-asan -j "$JOBS" --target "${tests[@]}"
+  local regex
+  regex="^($(IFS='|'; echo "${tests[*]}"))$"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$regex"
+}
+
+case "$STAGE" in
+  tier1) tier1 ;;
+  asan) asan ;;
+  all) tier1; asan ;;
+  *) echo "usage: $0 [tier1|asan|all]" >&2; exit 2 ;;
+esac
+echo "ci.sh: all requested stages passed"

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "runtime/bsp_engine.hpp"
+#include "runtime/fabric.hpp"
 #include "runtime/serialize.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -155,7 +156,7 @@ DistColoringResult color_distance2_distributed_native(
   Timer wall;
   const auto views = build_dist2_views(g, p);
   const Rank P = p.num_parts();
-  BspEngine engine(P, options.model);
+  BspEngine engine(P, options.model, options.trace);
 
   std::vector<D2RankState> states(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
@@ -168,9 +169,9 @@ DistColoringResult color_distance2_distributed_native(
   }
 
   DistColoringResult result;
-  std::vector<ByteWriter> dest_payload(static_cast<std::size_t>(P));
-  std::vector<std::int64_t> dest_records(static_cast<std::size_t>(P), 0);
-  std::vector<Rank> dest_touched;
+  // Two-hop recipients are precomputed per vertex, so the distance-2 flush
+  // always uses the neighbor-customized policy (the paper's NEW mode).
+  FanoutStage stage(P);
 
   while (true) {
     VertexId max_todo = 0;
@@ -181,6 +182,7 @@ DistColoringResult color_distance2_distributed_native(
     PMC_REQUIRE(result.rounds < options.max_rounds,
                 "distance-2 coloring failed to converge in "
                     << options.max_rounds << " rounds");
+    engine.fabric().set_round_all(result.rounds);
     const VertexId steps =
         (max_todo + options.superstep_size - 1) / options.superstep_size;
     for (VertexId k = 0; k < steps; ++k) {
@@ -189,7 +191,8 @@ DistColoringResult color_distance2_distributed_native(
         if (options.superstep_mode == SuperstepMode::kAsync) {
           for (const BspMessage& msg : engine.poll(r)) {
             d2_apply_records(st, msg);
-            engine.charge(r, static_cast<double>(msg.payload.size()) / 12.0);
+            engine.charge(r, static_cast<double>(msg.payload.size()) / 12.0,
+                          WorkPhase::kBoundary);
           }
         }
         const auto begin = static_cast<std::size_t>(k * options.superstep_size);
@@ -197,33 +200,28 @@ DistColoringResult color_distance2_distributed_native(
         const auto end =
             std::min(st.to_color.size(),
                      begin + static_cast<std::size_t>(options.superstep_size));
-        dest_touched.clear();
         for (std::size_t i = begin; i < end; ++i) {
           const VertexId v = st.to_color[i];
-          Color chosen;
-          engine.charge(r, d2_color_vertex(st, v, &chosen));
-          st.color[static_cast<std::size_t>(v)] = chosen;
           const auto& recipients =
               st.view->recipients[static_cast<std::size_t>(v)];
+          Color chosen;
+          engine.charge(r, d2_color_vertex(st, v, &chosen),
+                        recipients.empty() ? WorkPhase::kInterior
+                                           : WorkPhase::kBoundary);
+          st.color[static_cast<std::size_t>(v)] = chosen;
           if (recipients.empty()) continue;
           st.colored_d2_boundary.push_back(v);
           const VertexId global =
               st.view->global_ids[static_cast<std::size_t>(v)];
           for (Rank dst : recipients) {
-            auto& w = dest_payload[static_cast<std::size_t>(dst)];
-            if (dest_records[static_cast<std::size_t>(dst)] == 0) {
-              dest_touched.push_back(dst);
-            }
-            w.put(global);
-            w.put(chosen);
-            ++dest_records[static_cast<std::size_t>(dst)];
+            stage.stage(dst, global, chosen);
           }
         }
-        for (Rank dst : dest_touched) {
-          engine.send(r, dst, dest_payload[static_cast<std::size_t>(dst)].take(),
-                      dest_records[static_cast<std::size_t>(dst)]);
-          dest_records[static_cast<std::size_t>(dst)] = 0;
-        }
+        stage.flush(SendPolicy::kCustomizedNeighbors, r,
+                    [&engine, r](Rank dst, std::vector<std::byte> payload,
+                                 std::int64_t records) {
+                      engine.send(r, dst, std::move(payload), records);
+                    });
       }
       ++result.total_supersteps;
       if (options.superstep_mode == SuperstepMode::kSync) {
@@ -273,7 +271,7 @@ DistColoringResult color_distance2_distributed_native(
           }
           if (lose) break;
         }
-        engine.charge(r, work);
+        engine.charge(r, work, WorkPhase::kBoundary);
         if (lose) {
           st.color[static_cast<std::size_t>(v)] = kNoColor;
           st.to_color.push_back(v);
@@ -297,10 +295,8 @@ DistColoringResult color_distance2_distributed_native(
           st.color[static_cast<std::size_t>(v)];
     }
   }
-  result.run.sim_seconds = engine.time();
+  engine.fabric().export_into(result.run);
   result.run.wall_seconds = wall.seconds();
-  result.run.comm = engine.comm();
-  result.run.load = engine.load_stats();
   result.run.rounds = result.rounds;
   return result;
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "runtime/bsp_engine.hpp"
+#include "runtime/fabric.hpp"
 #include "runtime/serialize.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -81,7 +82,7 @@ DistColoringResult color_distributed(const DistGraph& dist,
   PMC_REQUIRE(options.superstep_size >= 1, "superstep size must be >= 1");
   Timer wall;
   const Rank P = dist.num_ranks();
-  BspEngine engine(P, options.model);
+  BspEngine engine(P, options.model, options.trace);
 
   std::vector<RankState> states(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
@@ -126,10 +127,15 @@ DistColoringResult color_distributed(const DistGraph& dist,
   DistColoringResult result;
   const std::uint64_t seed = options.seed;
 
-  // Scratch: per-destination payloads for one superstep of one rank.
-  std::vector<ByteWriter> dest_payload(static_cast<std::size_t>(P));
-  std::vector<std::int64_t> dest_records(static_cast<std::size_t>(P), 0);
-  std::vector<Rank> dest_touched;
+  // Per-destination staging for one superstep of one rank, flushed under the
+  // configured fabric send policy (FIAB / FIAC / NEW).
+  FanoutStage stage(P);
+  const auto send_from = [&engine](Rank src) {
+    return [&engine, src](Rank dst, std::vector<std::byte> payload,
+                          std::int64_t records) {
+      engine.send(src, dst, std::move(payload), records);
+    };
+  };
 
   while (true) {
     // ---- Tentative coloring phase -------------------------------------
@@ -141,6 +147,7 @@ DistColoringResult color_distributed(const DistGraph& dist,
     PMC_REQUIRE(result.rounds < options.max_rounds,
                 "coloring failed to converge in " << options.max_rounds
                                                   << " rounds");
+    engine.fabric().set_round_all(result.rounds);
     const VertexId steps =
         (max_todo + options.superstep_size - 1) / options.superstep_size;
     for (VertexId k = 0; k < steps; ++k) {
@@ -152,7 +159,8 @@ DistColoringResult color_distributed(const DistGraph& dist,
         if (options.superstep_mode == SuperstepMode::kAsync) {
           for (const BspMessage& msg : engine.poll(r)) {
             apply_color_records(st, msg);
-            engine.charge(r, static_cast<double>(msg.payload.size()) / 12.0);
+            engine.charge(r, static_cast<double>(msg.payload.size()) / 12.0,
+                          WorkPhase::kBoundary);
           }
         }
         const auto begin = static_cast<std::size_t>(k * options.superstep_size);
@@ -160,66 +168,27 @@ DistColoringResult color_distributed(const DistGraph& dist,
         const auto end = std::min(st.to_color.size(),
                                   begin + static_cast<std::size_t>(
                                               options.superstep_size));
-        dest_touched.clear();
-        ByteWriter union_payload;
-        std::int64_t union_records = 0;
         for (std::size_t i = begin; i < end; ++i) {
           const VertexId v = st.to_color[i];
+          const bool boundary = lg.is_boundary(v);
           Color chosen;
-          engine.charge(r, color_vertex(st, v, &chosen));
+          engine.charge(r, color_vertex(st, v, &chosen),
+                        boundary ? WorkPhase::kBoundary
+                                 : WorkPhase::kInterior);
           st.color[static_cast<std::size_t>(v)] = chosen;
-          if (!lg.is_boundary(v)) continue;
+          if (!boundary) continue;
           st.colored_boundary.push_back(v);
           const VertexId global = lg.global_id(v);
-          if (options.comm_mode == CommMode::kCustomizedNeighbors ||
-              options.comm_mode == CommMode::kCustomizedAll) {
-            for (Rank dst : st.adj_ranks[static_cast<std::size_t>(v)]) {
-              auto& w = dest_payload[static_cast<std::size_t>(dst)];
-              if (w.empty() && dest_records[static_cast<std::size_t>(dst)] == 0) {
-                dest_touched.push_back(dst);
-              }
-              w.put(global);
-              w.put(chosen);
-              ++dest_records[static_cast<std::size_t>(dst)];
-            }
+          if (options.comm_mode == CommMode::kBroadcastUnion) {
+            stage.stage_union(global, chosen);
           } else {
-            union_payload.put(global);
-            union_payload.put(chosen);
-            ++union_records;
+            for (Rank dst : st.adj_ranks[static_cast<std::size_t>(v)]) {
+              stage.stage(dst, global, chosen);
+            }
           }
         }
-        // Send this superstep's boundary colors.
-        switch (options.comm_mode) {
-          case CommMode::kCustomizedNeighbors:
-            for (Rank dst : dest_touched) {
-              engine.send(r, dst,
-                          dest_payload[static_cast<std::size_t>(dst)].take(),
-                          dest_records[static_cast<std::size_t>(dst)]);
-              dest_records[static_cast<std::size_t>(dst)] = 0;
-            }
-            break;
-          case CommMode::kCustomizedAll:
-            // Customized content, but a message goes to *every* other rank —
-            // empty for non-superstep-neighbors. Same count as FIAB, lower
-            // volume.
-            for (Rank dst = 0; dst < P; ++dst) {
-              if (dst == r) continue;
-              engine.send(r, dst,
-                          dest_payload[static_cast<std::size_t>(dst)].take(),
-                          dest_records[static_cast<std::size_t>(dst)]);
-              dest_records[static_cast<std::size_t>(dst)] = 0;
-            }
-            break;
-          case CommMode::kBroadcastUnion: {
-            const auto bytes = union_payload.take();
-            for (Rank dst = 0; dst < P; ++dst) {
-              if (dst == r) continue;
-              engine.send(r, dst, bytes, union_records);
-            }
-            break;
-          }
-        }
-        dest_touched.clear();
+        // Send this superstep's boundary colors under the configured policy.
+        stage.flush(options.comm_mode, r, send_from(r));
       }
       ++result.total_supersteps;
       if (options.superstep_mode == SuperstepMode::kSync) {
@@ -247,7 +216,8 @@ DistColoringResult color_distributed(const DistGraph& dist,
       const LocalGraph& lg = *st.lg;
       st.to_color.clear();
       for (const VertexId v : st.colored_boundary) {
-        engine.charge(r, static_cast<double>(lg.degree(v)));
+        engine.charge(r, static_cast<double>(lg.degree(v)),
+                      WorkPhase::kBoundary);
         const Color cv = st.color[static_cast<std::size_t>(v)];
         const VertexId gv = lg.global_id(v);
         bool lose = false;
@@ -290,10 +260,8 @@ DistColoringResult color_distributed(const DistGraph& dist,
           st.color[static_cast<std::size_t>(v)];
     }
   }
-  result.run.sim_seconds = engine.time();
+  engine.fabric().export_into(result.run);
   result.run.wall_seconds = wall.seconds();
-  result.run.comm = engine.comm();
-  result.run.load = engine.load_stats();
   result.run.rounds = result.rounds;
   return result;
 }

@@ -25,16 +25,15 @@
 #include "partition/partition.hpp"
 #include "runtime/comm_stats.hpp"
 #include "runtime/dist_graph.hpp"
+#include "runtime/fabric.hpp"
 #include "runtime/machine_model.hpp"
 
 namespace pmc {
 
-/// Who receives a superstep's boundary color updates.
-enum class CommMode {
-  kBroadcastUnion,       ///< FIAB: same message to all ranks.
-  kCustomizedAll,        ///< FIAC: customized message to all ranks.
-  kCustomizedNeighbors,  ///< New algorithm: customized, neighbors only.
-};
+/// Who receives a superstep's boundary color updates. The three modes are
+/// the fabric's send policies (runtime/fabric.hpp): kBroadcastUnion (FIAB),
+/// kCustomizedAll (FIAC), kCustomizedNeighbors (the paper's new algorithm).
+using CommMode = SendPolicy;
 
 /// Whether supersteps run with or without a global barrier.
 enum class SuperstepMode { kAsync, kSync };
@@ -53,6 +52,8 @@ struct DistColoringOptions {
   std::uint64_t seed = 0;
   /// Safety bound on rounds (the framework converges in ~6 on real inputs).
   int max_rounds = 1000;
+  /// Instrumentation options (optional JSONL trace sink).
+  TraceConfig trace;
 
   /// FIAB preset: broadcast-based, superstep ~100 (paper: best for
   /// poorly-partitioned graphs among the broadcast variants).

@@ -1,10 +1,12 @@
-// Shared helpers for the benchmark harness: scaling-series bookkeeping and
-// the actual-vs-ideal tables that mirror the paper's figures.
+// Shared helpers for the benchmark harness: scaling-series bookkeeping, the
+// actual-vs-ideal tables that mirror the paper's figures, and renderers for
+// the fabric's per-rank / per-round communication breakdowns.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "runtime/comm_stats.hpp"
 #include "support/table.hpp"
 
 namespace pmc {
@@ -47,5 +49,20 @@ class ScalingSeries {
   std::string extra_name_;
   std::vector<ScalingPoint> points_;
 };
+
+/// Renders a run's per-round communication series as "round | messages |
+/// records | volume (B) | collectives" rows — the per-phase counts related
+/// distributed-matching implementations report.
+[[nodiscard]] TextTable comm_rounds_table(const std::string& title,
+                                          const CommBreakdown& breakdown);
+
+/// Renders a run's per-rank traffic plus the interior/boundary split of the
+/// charged compute time.
+[[nodiscard]] TextTable comm_ranks_table(const std::string& title,
+                                         const CommBreakdown& breakdown);
+
+/// Renders the message-size histogram (non-empty power-of-two buckets).
+[[nodiscard]] TextTable comm_size_histogram_table(
+    const std::string& title, const CommBreakdown& breakdown);
 
 }  // namespace pmc

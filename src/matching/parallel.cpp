@@ -4,10 +4,10 @@
 #include <deque>
 #include <numeric>
 #include <sstream>
-#include <unordered_map>
 #include <vector>
 
 #include "runtime/event_engine.hpp"
+#include "runtime/fabric.hpp"
 #include "runtime/serialize.hpp"
 #include "support/error.hpp"
 
@@ -26,10 +26,13 @@ enum class VState : std::uint8_t { kUndecided = 0, kMatched = 1, kFailed = 2 };
 /// One rank's matching state machine (see header for the protocol).
 class MatchProcess final : public Process {
  public:
-  MatchProcess(const LocalGraph& lg, bool bundled)
-      : lg_(lg), bundled_(bundled) {}
+  MatchProcess(const LocalGraph& lg, const DistMatchingOptions& options)
+      : lg_(lg),
+        bundler_(options.bundled ? BundleMode::kBundled : BundleMode::kEager,
+                 options.bundle_flush_bytes) {}
 
   void start(EventContext& ctx) override {
+    ctx.set_phase(WorkPhase::kInterior);
     const VertexId n = lg_.num_owned();
     state_.assign(static_cast<std::size_t>(n), VState::kUndecided);
     mate_.assign(static_cast<std::size_t>(n), kNoVertex);
@@ -96,6 +99,11 @@ class MatchProcess final : public Process {
               std::span<const std::byte> payload) override {
     (void)src;
     ++activations_;
+    // Trace attribution: this rank's sends now belong to its activation
+    // depth (the matching analogue of a round), and record handling plus
+    // the cascades it triggers count as boundary work.
+    ctx.set_round(activations_);
+    ctx.set_phase(WorkPhase::kBoundary);
     ByteReader reader(payload);
     while (!reader.done()) {
       const auto type = static_cast<RecordType>(reader.get<std::uint8_t>());
@@ -338,18 +346,18 @@ class MatchProcess final : public Process {
   }
 
   // ---- outgoing records ---------------------------------------------------
+  // Aggregation is the runtime Bundler's job: bundled mode stages records
+  // per destination until flush() (one message per neighbor rank per
+  // activation, the paper's §3.3 bundling); eager mode sends each record on
+  // its own (the unbundled ablation).
 
   void enqueue_record(EventContext& ctx, Rank dst, RecordType type,
                       VertexId a, VertexId b) {
-    if (!bundled_) {
-      ByteWriter w;
-      encode(w, type, a, b);
-      ctx.send(dst, w.take(), 1);
-      return;
-    }
-    auto& buf = out_[dst];
-    encode(buf.writer, type, a, b);
-    buf.records += 1;
+    bundler_.add(
+        dst, [&](ByteWriter& w) { encode(w, type, a, b); },
+        [&](Rank d, std::vector<std::byte> payload, std::int64_t records) {
+          ctx.send(d, std::move(payload), records);
+        });
   }
 
   static void encode(ByteWriter& w, RecordType type, VertexId a, VertexId b) {
@@ -359,21 +367,14 @@ class MatchProcess final : public Process {
   }
 
   void flush(EventContext& ctx) {
-    if (!bundled_) return;
-    for (auto& [dst, buf] : out_) {
-      if (buf.records == 0) continue;
-      ctx.send(dst, buf.writer.take(), buf.records);
-      buf.records = 0;
-    }
+    bundler_.flush(
+        [&](Rank d, std::vector<std::byte> payload, std::int64_t records) {
+          ctx.send(d, std::move(payload), records);
+        });
   }
 
-  struct OutBuffer {
-    ByteWriter writer;
-    std::int64_t records = 0;
-  };
-
   const LocalGraph& lg_;
-  bool bundled_;
+  Bundler bundler_;
   std::vector<VState> state_;
   std::vector<VertexId> mate_;        // local ids
   std::vector<VertexId> cand_;        // local ids
@@ -385,7 +386,6 @@ class MatchProcess final : public Process {
   std::vector<std::vector<std::pair<VertexId, EdgeId>>> ghost_incidence_;
   std::deque<VertexId> pending_;
   std::vector<Rank> scratch_ranks_;
-  std::unordered_map<Rank, OutBuffer> out_;
   VertexId undecided_ = 0;
   int activations_ = 0;
 };
@@ -395,10 +395,10 @@ class MatchProcess final : public Process {
 DistMatchingResult match_distributed(const DistGraph& dist,
                                      const DistMatchingOptions& options) {
   EventEngine engine(options.model, options.jitter_seconds,
-                     options.jitter_seed);
+                     options.jitter_seed, options.trace);
   for (Rank r = 0; r < dist.num_ranks(); ++r) {
     engine.add_process(
-        std::make_unique<MatchProcess>(dist.local(r), options.bundled));
+        std::make_unique<MatchProcess>(dist.local(r), options));
   }
   DistMatchingResult result;
   result.run = engine.run();

@@ -30,19 +30,28 @@
 #include "runtime/comm_stats.hpp"
 #include "runtime/dist_graph.hpp"
 #include "runtime/machine_model.hpp"
+#include "runtime/trace.hpp"
 
 namespace pmc {
 
 /// Options for a distributed matching run.
 struct DistMatchingOptions {
-  /// Aggregate records into one message per destination per activation.
+  /// Aggregate records into one message per destination per activation
+  /// (the runtime Bundler's bundled mode); false selects the eager mode
+  /// where every record travels as its own message (the ablation baseline).
   bool bundled = true;
+  /// In bundled mode, auto-flush a destination's bundle once its staged
+  /// payload reaches this many bytes. 0 = flush only at activation
+  /// boundaries (the paper's behaviour).
+  std::size_t bundle_flush_bytes = 0;
   /// Machine cost model for the simulation.
   MachineModel model = MachineModel::blue_gene_p();
   /// Deterministic message-delivery jitter (seconds); exercises alternative
   /// arrival orders (paper Fig 3.1 discussion). 0 disables.
   double jitter_seconds = 0.0;
   std::uint64_t jitter_seed = 0;
+  /// Instrumentation options (optional JSONL trace sink).
+  TraceConfig trace;
 };
 
 /// Result of a distributed matching run.

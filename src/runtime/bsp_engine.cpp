@@ -6,58 +6,28 @@
 
 namespace pmc {
 
-BspEngine::BspEngine(Rank num_ranks, MachineModel model)
-    : model_(std::move(model)) {
+BspEngine::BspEngine(Rank num_ranks, MachineModel model, TraceConfig trace)
+    : fabric_(std::move(model), CommFabric::Config{0.0, 0, std::move(trace)}) {
   PMC_REQUIRE(num_ranks >= 1, "need at least one rank");
-  clocks_.assign(static_cast<std::size_t>(num_ranks), 0.0);
-  compute_seconds_.assign(static_cast<std::size_t>(num_ranks), 0.0);
+  for (Rank r = 0; r < num_ranks; ++r) (void)fabric_.add_rank();
   inboxes_.resize(static_cast<std::size_t>(num_ranks));
 }
 
 void BspEngine::charge(Rank r, double work_units) {
-  const double seconds = model_.compute_seconds(work_units);
-  clocks_[static_cast<std::size_t>(r)] += seconds;
-  compute_seconds_[static_cast<std::size_t>(r)] += seconds;
+  fabric_.charge(r, work_units);
 }
 
-LoadStats BspEngine::load_stats() const {
-  LoadStats load;
-  const auto [mn, mx] =
-      std::minmax_element(compute_seconds_.begin(), compute_seconds_.end());
-  load.min_seconds = *mn;
-  load.max_seconds = *mx;
-  double total = 0.0;
-  for (double s : compute_seconds_) total += s;
-  load.mean_seconds = total / static_cast<double>(num_ranks());
-  return load;
+void BspEngine::charge(Rank r, double work_units, WorkPhase phase) {
+  fabric_.charge(r, work_units, phase);
 }
 
 void BspEngine::send(Rank src, Rank dst, std::vector<std::byte> payload,
                      std::int64_t records) {
-  PMC_REQUIRE(dst >= 0 && dst < num_ranks(), "send to invalid rank " << dst);
-  PMC_REQUIRE(dst != src, "send to self (rank " << src << ")");
-  // Sender-side per-message software overhead (see MachineModel).
-  clocks_[static_cast<std::size_t>(src)] += model_.send_overhead;
-  double arrival =
-      clocks_[static_cast<std::size_t>(src)] +
-      model_.message_seconds(static_cast<double>(payload.size()));
-  const std::uint64_t channel = (static_cast<std::uint64_t>(
-                                     static_cast<std::uint32_t>(src))
-                                 << 32) |
-                                static_cast<std::uint32_t>(dst);
-  auto [it, inserted] = channel_last_arrival_.try_emplace(channel, arrival);
-  if (!inserted) {
-    arrival = std::max(arrival, it->second);
-    it->second = arrival;
-  }
-  comm_.messages += 1;
-  comm_.bytes += static_cast<std::int64_t>(payload.size()) +
-                 static_cast<std::int64_t>(model_.header_bytes);
-  comm_.records += records;
+  const auto receipt = fabric_.post_send(src, dst, payload.size(), records);
 
   BspMessage msg;
   msg.src = src;
-  msg.arrival = arrival;
+  msg.arrival = receipt.arrival;
   msg.payload = std::move(payload);
   // Insert keeping the inbox sorted by arrival; messages mostly arrive in
   // order so the scan from the back is near O(1).
@@ -71,7 +41,7 @@ void BspEngine::send(Rank src, Rank dst, std::vector<std::byte> payload,
 
 std::vector<BspMessage> BspEngine::poll(Rank r) {
   auto& inbox = inboxes_[static_cast<std::size_t>(r)];
-  const double now_r = clocks_[static_cast<std::size_t>(r)];
+  const double now_r = fabric_.now(r);
   std::vector<BspMessage> out;
   while (!inbox.empty() && inbox.front().arrival <= now_r) {
     out.push_back(std::move(inbox.front()));
@@ -81,15 +51,13 @@ std::vector<BspMessage> BspEngine::poll(Rank r) {
 }
 
 void BspEngine::barrier() {
-  double horizon = *std::max_element(clocks_.begin(), clocks_.end());
+  double horizon = fabric_.max_time();
   for (const auto& inbox : inboxes_) {
     for (const auto& msg : inbox) {
       horizon = std::max(horizon, msg.arrival);
     }
   }
-  horizon += model_.collective_seconds(num_ranks());
-  std::fill(clocks_.begin(), clocks_.end(), horizon);
-  comm_.collectives += 1;
+  fabric_.complete_collective(horizon);
 }
 
 std::vector<BspMessage> BspEngine::drain(Rank r) {
@@ -103,13 +71,5 @@ std::vector<BspMessage> BspEngine::drain(Rank r) {
 }
 
 void BspEngine::allreduce() { barrier(); }
-
-double BspEngine::now(Rank r) const {
-  return clocks_[static_cast<std::size_t>(r)];
-}
-
-double BspEngine::time() const {
-  return *std::max_element(clocks_.begin(), clocks_.end());
-}
 
 }  // namespace pmc

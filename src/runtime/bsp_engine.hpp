@@ -3,9 +3,10 @@
 //
 // Unlike EventEngine (fully asynchronous, message-driven), BspEngine is
 // driven *by* the algorithm: the driver loops over ranks and supersteps,
-// charging work and sending messages, and the engine tracks virtual clocks,
-// in-flight messages, FIFO channels and collective costs. Two receive
-// primitives mirror the paper's sync/async superstep modes:
+// charging work and sending messages. Clocks, per-channel FIFO ordering,
+// alpha-beta costs and accounting live in the shared CommFabric
+// (runtime/fabric.hpp); the engine owns only the per-rank inboxes and the
+// superstep receive primitives that mirror the paper's sync/async modes:
 //
 //   * poll(r)   — deliver only messages whose modelled arrival time is
 //                 <= rank r's current clock (asynchronous supersteps: a rank
@@ -20,10 +21,10 @@
 #include <cstdint>
 #include <deque>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "runtime/comm_stats.hpp"
+#include "runtime/fabric.hpp"
 #include "runtime/machine_model.hpp"
 #include "support/types.hpp"
 
@@ -39,14 +40,14 @@ struct BspMessage {
 /// Simulated BSP communication layer over `num_ranks` virtual processors.
 class BspEngine {
  public:
-  BspEngine(Rank num_ranks, MachineModel model);
+  BspEngine(Rank num_ranks, MachineModel model, TraceConfig trace = {});
 
-  [[nodiscard]] Rank num_ranks() const noexcept {
-    return static_cast<Rank>(clocks_.size());
-  }
+  [[nodiscard]] Rank num_ranks() const noexcept { return fabric_.num_ranks(); }
 
-  /// Advances rank r's clock by work_units * seconds_per_work.
+  /// Advances rank r's clock by work_units * seconds_per_work; the phase
+  /// overload attributes the work in the trace breakdown.
   void charge(Rank r, double work_units);
+  void charge(Rank r, double work_units, WorkPhase phase);
 
   /// Sends payload from src to dst; arrival is modelled with the alpha-beta
   /// cost and FIFO per-channel ordering. `records` counts algorithm records
@@ -70,26 +71,30 @@ class BspEngine {
   void allreduce();
 
   /// Current virtual time of rank r.
-  [[nodiscard]] double now(Rank r) const;
+  [[nodiscard]] double now(Rank r) const { return fabric_.now(r); }
 
   /// Modelled parallel time so far (max over rank clocks).
-  [[nodiscard]] double time() const;
+  [[nodiscard]] double time() const { return fabric_.max_time(); }
 
-  [[nodiscard]] const CommStats& comm() const noexcept { return comm_; }
-  [[nodiscard]] const MachineModel& model() const noexcept { return model_; }
+  [[nodiscard]] const CommStats& comm() const noexcept {
+    return fabric_.comm();
+  }
+  [[nodiscard]] const MachineModel& model() const noexcept {
+    return fabric_.model();
+  }
 
   /// Per-rank charged-compute distribution (load balance). Barriers
   /// synchronize the clocks, so this — not `now()` — is the balance signal.
-  [[nodiscard]] LoadStats load_stats() const;
+  [[nodiscard]] LoadStats load_stats() const { return fabric_.load_stats(); }
+
+  /// The shared comm substrate (clocks, costs, stats, instrumentation).
+  [[nodiscard]] CommFabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const CommFabric& fabric() const noexcept { return fabric_; }
 
  private:
-  MachineModel model_;
-  std::vector<double> clocks_;
-  std::vector<double> compute_seconds_;
+  CommFabric fabric_;
   /// Pending (undelivered) messages per destination, FIFO by arrival.
   std::vector<std::deque<BspMessage>> inboxes_;
-  std::unordered_map<std::uint64_t, double> channel_last_arrival_;
-  CommStats comm_;
 };
 
 }  // namespace pmc

@@ -1,5 +1,6 @@
 #include "runtime/comm_stats.hpp"
 
+#include <bit>
 #include <sstream>
 
 namespace pmc {
@@ -8,6 +9,28 @@ std::string CommStats::to_string() const {
   std::ostringstream oss;
   oss << "msgs=" << messages << " bytes=" << bytes << " records=" << records
       << " collectives=" << collectives;
+  return oss.str();
+}
+
+std::size_t CommBreakdown::size_bucket(std::int64_t bytes) noexcept {
+  if (bytes <= 1) return 0;
+  const auto width = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(bytes)) - 1);
+  return width < kMessageSizeBuckets ? width : kMessageSizeBuckets - 1;
+}
+
+std::string CommBreakdown::to_string() const {
+  std::ostringstream oss;
+  oss << "ranks=" << per_rank.size() << " rounds=" << per_round.size()
+      << " histogram=[";
+  bool first = true;
+  for (std::size_t i = 0; i < message_size_histogram.size(); ++i) {
+    if (message_size_histogram[i] == 0) continue;
+    if (!first) oss << ' ';
+    first = false;
+    oss << (std::int64_t{1} << i) << "B:" << message_size_histogram[i];
+  }
+  oss << ']';
   return oss.str();
 }
 

@@ -1,8 +1,10 @@
 // Communication and run statistics reported by the simulated runtime.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pmc {
 
@@ -19,6 +21,35 @@ struct CommStats {
     records += other.records;
     collectives += other.collectives;
   }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Number of power-of-two message-size histogram buckets. Bucket i counts
+/// messages whose total (payload + envelope) size lands in [2^i, 2^(i+1));
+/// the last bucket absorbs everything larger.
+inline constexpr std::size_t kMessageSizeBuckets = 24;
+
+/// Fine-grained view of a run's communication, filled by the fabric's
+/// instrumentation layer (runtime/trace.hpp): who sent (per rank), when in
+/// the algorithm (per round), how big (size histogram), and how the charged
+/// compute splits between interior and boundary work.
+struct CommBreakdown {
+  /// Traffic attributed to the *sending* rank (collectives to every rank).
+  std::vector<CommStats> per_rank;
+  /// Traffic attributed to the sender's algorithm round at send time.
+  /// Matching uses the sender's activation depth; coloring uses the
+  /// speculative-coloring round.
+  std::vector<CommStats> per_round;
+  /// Message counts per power-of-two total-size bucket (kMessageSizeBuckets).
+  std::vector<std::int64_t> message_size_histogram;
+  /// Charged compute seconds per rank, split by work phase.
+  std::vector<double> interior_seconds;
+  std::vector<double> boundary_seconds;
+  std::vector<double> other_seconds;
+
+  /// Histogram bucket for a message of `bytes` total size.
+  [[nodiscard]] static std::size_t size_bucket(std::int64_t bytes) noexcept;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -43,6 +74,7 @@ struct RunResult {
   CommStats comm;
   LoadStats load;             ///< Per-rank compute-time distribution.
   int rounds = 0;             ///< Algorithm-level outer rounds (if meaningful).
+  CommBreakdown breakdown;    ///< Per-rank / per-round instrumentation.
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -1,10 +1,8 @@
 #include "runtime/event_engine.hpp"
 
-#include <algorithm>
 #include <sstream>
 
 #include "support/error.hpp"
-#include "support/rng.hpp"
 #include "support/timer.hpp"
 
 namespace pmc {
@@ -12,9 +10,7 @@ namespace pmc {
 Rank EventContext::num_ranks() const noexcept { return engine_->num_ranks(); }
 
 void EventContext::charge(double work_units) noexcept {
-  const double seconds = engine_->model_.compute_seconds(work_units);
-  engine_->clocks_[static_cast<std::size_t>(rank_)] += seconds;
-  engine_->compute_seconds_[static_cast<std::size_t>(rank_)] += seconds;
+  engine_->fabric_.charge(rank_, work_units);
 }
 
 void EventContext::send(Rank dst, std::vector<std::byte> payload,
@@ -23,64 +19,42 @@ void EventContext::send(Rank dst, std::vector<std::byte> payload,
 }
 
 double EventContext::now() const noexcept {
-  return engine_->clocks_[static_cast<std::size_t>(rank_)];
+  return engine_->fabric_.now(rank_);
+}
+
+void EventContext::set_round(int round) {
+  engine_->fabric_.set_round(rank_, round);
+}
+
+void EventContext::set_phase(WorkPhase phase) noexcept {
+  engine_->fabric_.set_phase(rank_, phase);
 }
 
 EventEngine::EventEngine(MachineModel model, double jitter_seconds,
-                         std::uint64_t jitter_seed)
-    : model_(std::move(model)),
-      jitter_seconds_(jitter_seconds),
-      jitter_seed_(jitter_seed) {
-  PMC_REQUIRE(jitter_seconds >= 0.0, "negative jitter");
-}
+                         std::uint64_t jitter_seed, TraceConfig trace)
+    : fabric_(std::move(model),
+              CommFabric::Config{jitter_seconds, jitter_seed,
+                                 std::move(trace)}) {}
 
 Rank EventEngine::add_process(std::unique_ptr<Process> process) {
   PMC_REQUIRE(process != nullptr, "null process");
   PMC_REQUIRE(!ran_, "cannot add processes after run()");
   processes_.push_back(std::move(process));
-  clocks_.push_back(0.0);
-  compute_seconds_.push_back(0.0);
-  return static_cast<Rank>(processes_.size()) - 1;
+  return fabric_.add_rank();
 }
 
 void EventEngine::enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
                           std::int64_t records) {
-  PMC_REQUIRE(dst >= 0 && dst < num_ranks(), "send to invalid rank " << dst);
-  PMC_REQUIRE(dst != src, "send to self (rank " << src << ")");
-  // Sender pays the per-message software overhead (LogP "o") before the
-  // message enters the network — the cost message bundling amortizes.
-  clocks_[static_cast<std::size_t>(src)] += model_.send_overhead;
-  const double send_time = clocks_[static_cast<std::size_t>(src)];
-  double arrival =
-      send_time + model_.message_seconds(static_cast<double>(payload.size()));
-  if (jitter_seconds_ > 0.0) {
-    const std::uint64_t h = splitmix64(jitter_seed_ ^ splitmix64(next_seq_));
-    arrival += jitter_seconds_ * static_cast<double>(h >> 11) * 0x1.0p-53;
-  }
-  // FIFO per channel: a message may not overtake an earlier one on the same
-  // (src, dst) pair (MPI non-overtaking rule).
-  const std::uint64_t channel = (static_cast<std::uint64_t>(
-                                     static_cast<std::uint32_t>(src))
-                                 << 32) |
-                                static_cast<std::uint32_t>(dst);
-  auto [it, inserted] = channel_last_arrival_.try_emplace(channel, arrival);
-  if (!inserted) {
-    arrival = std::max(arrival, it->second);
-    it->second = arrival;
-  }
-
-  comm_.messages += 1;
-  comm_.bytes += static_cast<std::int64_t>(payload.size()) +
-                 static_cast<std::int64_t>(model_.header_bytes);
-  comm_.records += records;
-
+  const auto receipt =
+      fabric_.post_send(src, dst, payload.size(), records);
   Event ev;
-  ev.time = arrival;
-  ev.seq = next_seq_++;
+  ev.time = receipt.arrival;
+  ev.seq = receipt.seq;
   ev.src = src;
   ev.dst = dst;
   ev.payload = std::move(payload);
   queue_.push(std::move(ev));
+  ++events_posted_;
 }
 
 RunResult EventEngine::run() {
@@ -100,8 +74,7 @@ RunResult EventEngine::run() {
       // element is popped immediately after.
       Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
-      auto& clock = clocks_[static_cast<std::size_t>(ev.dst)];
-      clock = std::max(clock, ev.time);
+      fabric_.advance_to(ev.dst, ev.time);
       EventContext ctx(*this, ev.dst);
       processes_[static_cast<std::size_t>(ev.dst)]->handle(ctx, ev.src,
                                                            ev.payload);
@@ -117,7 +90,7 @@ RunResult EventEngine::run() {
 
     // Quiescent but unfinished: give stuck ranks a chance to make progress.
     // Progress = new messages or a done-state change; otherwise deadlock.
-    const std::uint64_t seq_before = next_seq_;
+    const std::uint64_t posted_before = events_posted_;
     Rank done_before = 0;
     for (const auto& p : processes_) {
       if (p->done()) ++done_before;
@@ -132,7 +105,8 @@ RunResult EventEngine::run() {
     for (const auto& p : processes_) {
       if (p->done()) ++done_after;
     }
-    if (queue_.empty() && next_seq_ == seq_before && done_after == done_before) {
+    if (queue_.empty() && events_posted_ == posted_before &&
+        done_after == done_before) {
       std::ostringstream oss;
       oss << "distributed computation deadlocked; unfinished ranks:";
       int listed = 0;
@@ -148,16 +122,8 @@ RunResult EventEngine::run() {
   }
 
   RunResult result;
-  result.sim_seconds = *std::max_element(clocks_.begin(), clocks_.end());
+  fabric_.export_into(result);
   result.wall_seconds = wall.seconds();
-  result.comm = comm_;
-  const auto [mn, mx] =
-      std::minmax_element(compute_seconds_.begin(), compute_seconds_.end());
-  result.load.min_seconds = *mn;
-  result.load.max_seconds = *mx;
-  double total = 0.0;
-  for (double s : compute_seconds_) total += s;
-  result.load.mean_seconds = total / static_cast<double>(num_ranks());
   return result;
 }
 

@@ -2,8 +2,10 @@
 // point-to-point communication.
 //
 // Each logical rank is a Process (a message-driven state machine). The
-// engine owns one virtual clock per rank and a global event queue ordered by
-// arrival time. Semantics:
+// engine composes the shared CommFabric (runtime/fabric.hpp) for clocks,
+// channel FIFO ordering, alpha-beta costs and accounting, and owns only the
+// scheduling discipline: a global event queue ordered by arrival time.
+// Semantics:
 //
 //   * Process::start(ctx) runs once per rank; computation advances the
 //     rank's clock via ctx.charge(work_units).
@@ -29,10 +31,10 @@
 #include <queue>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "runtime/comm_stats.hpp"
+#include "runtime/fabric.hpp"
 #include "runtime/machine_model.hpp"
 #include "support/types.hpp"
 
@@ -55,6 +57,11 @@ class EventContext {
 
   /// Current virtual time of this rank.
   [[nodiscard]] double now() const noexcept;
+
+  /// Trace attribution (instrumentation only): the round label this rank's
+  /// subsequent sends carry, and the phase its charges count toward.
+  void set_round(int round);
+  void set_phase(WorkPhase phase) noexcept;
 
  private:
   friend class EventEngine;
@@ -92,8 +99,8 @@ class EventEngine {
   /// `jitter_seconds` > 0 adds a deterministic pseudo-random delay in
   /// [0, jitter_seconds) to each message arrival (per-message, derived from
   /// `jitter_seed`), exercising alternative delivery interleavings.
-  EventEngine(MachineModel model, double jitter_seconds = 0.0,
-              std::uint64_t jitter_seed = 0);
+  explicit EventEngine(MachineModel model, double jitter_seconds = 0.0,
+                       std::uint64_t jitter_seed = 0, TraceConfig trace = {});
 
   /// Registers a rank process; ranks are numbered in registration order.
   Rank add_process(std::unique_ptr<Process> process);
@@ -109,7 +116,13 @@ class EventEngine {
   /// Access to a rank's process (e.g. to extract results after run()).
   [[nodiscard]] Process& process(Rank r) { return *processes_[static_cast<std::size_t>(r)]; }
 
-  [[nodiscard]] const MachineModel& model() const noexcept { return model_; }
+  [[nodiscard]] const MachineModel& model() const noexcept {
+    return fabric_.model();
+  }
+
+  /// The shared comm substrate (clocks, costs, stats, instrumentation).
+  [[nodiscard]] CommFabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const CommFabric& fabric() const noexcept { return fabric_; }
 
  private:
   friend class EventContext;
@@ -131,20 +144,10 @@ class EventEngine {
   void enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
                std::int64_t records);
 
-  MachineModel model_;
-  double jitter_seconds_;
-  std::uint64_t jitter_seed_;
+  CommFabric fabric_;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<double> clocks_;
-  /// Charged compute seconds per rank (load-balance statistics).
-  std::vector<double> compute_seconds_;
-  /// Last scheduled arrival per (src, dst) channel, enforcing FIFO order.
-  /// Sparse map: rank pairs that actually communicate are few (graph
-  /// neighbors), while a dense P*P array would not scale to 16k ranks.
-  std::unordered_map<std::uint64_t, double> channel_last_arrival_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::uint64_t next_seq_ = 0;
-  CommStats comm_;
+  std::uint64_t events_posted_ = 0;
   bool ran_ = false;
 };
 

@@ -1,0 +1,287 @@
+// Shared communication fabric of the simulated runtimes.
+//
+// EventEngine (asynchronous, message-driven) and BspEngine (superstep /
+// barrier) each used to hand-roll the same mechanics: per-rank virtual
+// clocks, the per-(src,dst) channel FIFO non-overtaking rule, alpha-beta
+// cost charging, and CommStats accounting. CommFabric owns all of it once;
+// the engines keep only their scheduling discipline (a global event queue
+// vs per-rank inboxes) and compose the fabric.
+//
+// The fabric also owns the two record-aggregation helpers the paper's
+// algorithms share:
+//
+//   * Bundler — per-destination record aggregation (the matching paper's
+//     §3.3 "aggressive message bundling") with eager, bundled, and
+//     flush-on-threshold modes. Eager mode is the unbundled ablation
+//     baseline: every record travels as its own message.
+//   * FanoutStage — per-source staging of boundary records, flushed under
+//     one of the coloring paper's §4.2 send policies: kBroadcastUnion
+//     (FIAB), kCustomizedAll (FIAC), or kCustomizedNeighbors (NEW).
+//
+// All modelled-time semantics (send overhead, latency + inverse-bandwidth
+// cost, FIFO channels, deterministic jitter) are bit-identical to the
+// pre-fabric engines; tests/test_determinism_regression.cpp pins this.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/comm_stats.hpp"
+#include "runtime/machine_model.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/trace.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+/// Who receives a superstep's staged boundary records (the coloring paper's
+/// §4.2 communication modes).
+enum class SendPolicy {
+  kBroadcastUnion,       ///< FIAB: same union payload to every other rank.
+  kCustomizedAll,        ///< FIAC: customized (possibly empty) message to all.
+  kCustomizedNeighbors,  ///< NEW: customized messages, touched ranks only.
+};
+
+/// Construction options for a CommFabric.
+struct FabricConfig {
+  /// > 0 adds a deterministic pseudo-random delay in [0, jitter_seconds)
+  /// to each message arrival (per-message, derived from jitter_seed).
+  double jitter_seconds = 0.0;
+  std::uint64_t jitter_seed = 0;
+  TraceConfig trace;
+};
+
+/// Shared clock/cost/accounting substrate composed by both engines.
+class CommFabric {
+ public:
+  using Config = FabricConfig;
+
+  /// What post_send() hands back to the engine's scheduler.
+  struct SendReceipt {
+    double arrival = 0.0;    ///< Modelled arrival time (FIFO-adjusted).
+    std::uint64_t seq = 0;   ///< Global send sequence number (tie-breaker).
+  };
+
+  explicit CommFabric(MachineModel model, Config config = {});
+
+  /// Registers one more rank; returns its id (registration order).
+  Rank add_rank();
+
+  [[nodiscard]] Rank num_ranks() const noexcept {
+    return static_cast<Rank>(clocks_.size());
+  }
+  [[nodiscard]] const MachineModel& model() const noexcept { return model_; }
+
+  // ---- clocks ------------------------------------------------------------
+
+  [[nodiscard]] double now(Rank r) const {
+    return clocks_[static_cast<std::size_t>(r)];
+  }
+
+  /// Modelled parallel time so far (max over rank clocks).
+  [[nodiscard]] double max_time() const;
+
+  /// clock(r) = max(clock(r), t) — delivery of an event at time t.
+  void advance_to(Rank r, double t);
+
+  /// Charges work_units of compute to rank r (attributed to r's current
+  /// trace phase, or to an explicit one-shot phase).
+  void charge(Rank r, double work_units);
+  void charge(Rank r, double work_units, WorkPhase phase);
+
+  // ---- point-to-point ------------------------------------------------------
+
+  /// The shared send path: charges the sender-side software overhead to
+  /// src's clock, prices the message with the alpha-beta model (+ optional
+  /// deterministic jitter), enforces FIFO non-overtaking on the (src, dst)
+  /// channel, and accounts the message in CommStats and the trace. The
+  /// engine schedules delivery at the returned arrival time.
+  SendReceipt post_send(Rank src, Rank dst, std::size_t payload_bytes,
+                        std::int64_t records);
+
+  // ---- collectives ---------------------------------------------------------
+
+  /// Completes a barrier/allreduce: every clock advances to `horizon` (the
+  /// caller's max over clocks and in-flight arrivals) plus the collective
+  /// cost for the current rank count.
+  void complete_collective(double horizon);
+
+  // ---- instrumentation passthrough ---------------------------------------
+
+  void set_round(Rank r, int round) { trace_.set_round(r, round); }
+  void set_round_all(int round) { trace_.set_round_all(round); }
+  void set_phase(Rank r, WorkPhase phase) noexcept {
+    trace_.set_phase(r, phase);
+  }
+
+  // ---- results -------------------------------------------------------------
+
+  [[nodiscard]] const CommStats& comm() const noexcept { return comm_; }
+  [[nodiscard]] const CommBreakdown& breakdown() const noexcept {
+    return trace_.breakdown();
+  }
+
+  /// Per-rank charged-compute distribution (load balance).
+  [[nodiscard]] LoadStats load_stats() const;
+
+  /// Fills run with sim_seconds (max clock), comm, load and breakdown.
+  void export_into(RunResult& run) const;
+
+ private:
+  MachineModel model_;
+  Config config_;
+  std::vector<double> clocks_;
+  /// Charged compute seconds per rank (load-balance statistics).
+  std::vector<double> compute_seconds_;
+  /// Last scheduled arrival per (src, dst) channel, enforcing FIFO order.
+  /// Sparse map: rank pairs that actually communicate are few (graph
+  /// neighbors), while a dense P*P array would not scale to 16k ranks.
+  std::unordered_map<std::uint64_t, double> channel_last_arrival_;
+  std::uint64_t send_seq_ = 0;
+  CommStats comm_;
+  CommTrace trace_;
+};
+
+/// How a Bundler treats appended records.
+enum class BundleMode {
+  kEager,    ///< Each record is sent immediately as its own message.
+  kBundled,  ///< Records are staged per destination until flush().
+};
+
+/// Per-destination record aggregation — the paper's §3.3 message bundling,
+/// promoted from the matching algorithm into the runtime so every algorithm
+/// (and the unbundled ablation) shares one implementation.
+///
+/// Records are appended through an encode callback writing into the staged
+/// ByteWriter; the send callback receives (dst, payload, record_count) and
+/// forwards to the engine. With a non-zero flush threshold, a destination's
+/// bundle is sent as soon as its staged payload reaches the threshold
+/// (bounding message size without changing record order).
+class Bundler {
+ public:
+  explicit Bundler(BundleMode mode, std::size_t flush_threshold_bytes = 0)
+      : mode_(mode), flush_threshold_bytes_(flush_threshold_bytes) {}
+
+  [[nodiscard]] BundleMode mode() const noexcept { return mode_; }
+
+  /// Appends one record for dst. EncodeFn is void(ByteWriter&); SendFn is
+  /// void(Rank, std::vector<std::byte>, std::int64_t records).
+  template <typename EncodeFn, typename SendFn>
+  void add(Rank dst, EncodeFn&& encode, SendFn&& send) {
+    if (mode_ == BundleMode::kEager) {
+      ByteWriter w;
+      encode(w);
+      send(dst, w.take(), std::int64_t{1});
+      return;
+    }
+    auto& buf = out_[dst];
+    encode(buf.writer);
+    buf.records += 1;
+    if (flush_threshold_bytes_ != 0 &&
+        buf.writer.size() >= flush_threshold_bytes_) {
+      send(dst, buf.writer.take(), buf.records);
+      buf.records = 0;
+    }
+  }
+
+  /// Sends every non-empty staged bundle (bundled mode; no-op when eager).
+  template <typename SendFn>
+  void flush(SendFn&& send) {
+    if (mode_ == BundleMode::kEager) return;
+    for (auto& [dst, buf] : out_) {
+      if (buf.records == 0) continue;
+      send(dst, buf.writer.take(), buf.records);
+      buf.records = 0;
+    }
+  }
+
+  /// Records currently staged across all destinations.
+  [[nodiscard]] std::int64_t staged_records() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& [dst, buf] : out_) total += buf.records;
+    return total;
+  }
+
+ private:
+  struct OutBuffer {
+    ByteWriter writer;
+    std::int64_t records = 0;
+  };
+
+  BundleMode mode_;
+  std::size_t flush_threshold_bytes_;
+  std::unordered_map<Rank, OutBuffer> out_;
+};
+
+/// Per-source staging of one superstep's boundary records, flushed under a
+/// SendPolicy — the coloring paper's FIAB / FIAC / NEW comparison expressed
+/// as a fabric-level primitive.
+class FanoutStage {
+ public:
+  explicit FanoutStage(Rank num_ranks)
+      : dest_payload_(static_cast<std::size_t>(num_ranks)),
+        dest_records_(static_cast<std::size_t>(num_ranks), 0) {}
+
+  /// Stages one customized record for dst (kCustomizedNeighbors / -All).
+  template <typename... Fields>
+  void stage(Rank dst, const Fields&... fields) {
+    auto& records = dest_records_[static_cast<std::size_t>(dst)];
+    if (records == 0) touched_.push_back(dst);
+    auto& w = dest_payload_[static_cast<std::size_t>(dst)];
+    (w.put(fields), ...);
+    ++records;
+  }
+
+  /// Stages one record of the shared union payload (kBroadcastUnion).
+  template <typename... Fields>
+  void stage_union(const Fields&... fields) {
+    (union_payload_.put(fields), ...);
+    ++union_records_;
+  }
+
+  /// Sends the staged records from src under `policy` and resets the stage.
+  /// SendFn is void(Rank dst, std::vector<std::byte>, std::int64_t records).
+  template <typename SendFn>
+  void flush(SendPolicy policy, Rank src, SendFn&& send) {
+    const Rank P = static_cast<Rank>(dest_payload_.size());
+    switch (policy) {
+      case SendPolicy::kCustomizedNeighbors:
+        for (Rank dst : touched_) {
+          send(dst, dest_payload_[static_cast<std::size_t>(dst)].take(),
+               dest_records_[static_cast<std::size_t>(dst)]);
+          dest_records_[static_cast<std::size_t>(dst)] = 0;
+        }
+        break;
+      case SendPolicy::kCustomizedAll:
+        // Customized content, but a message goes to *every* other rank —
+        // empty for non-neighbors. Same count as FIAB, lower volume.
+        for (Rank dst = 0; dst < P; ++dst) {
+          if (dst == src) continue;
+          send(dst, dest_payload_[static_cast<std::size_t>(dst)].take(),
+               dest_records_[static_cast<std::size_t>(dst)]);
+          dest_records_[static_cast<std::size_t>(dst)] = 0;
+        }
+        break;
+      case SendPolicy::kBroadcastUnion: {
+        const auto bytes = union_payload_.take();
+        for (Rank dst = 0; dst < P; ++dst) {
+          if (dst == src) continue;
+          send(dst, bytes, union_records_);
+        }
+        union_records_ = 0;
+        break;
+      }
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<ByteWriter> dest_payload_;
+  std::vector<std::int64_t> dest_records_;
+  std::vector<Rank> touched_;
+  ByteWriter union_payload_;
+  std::int64_t union_records_ = 0;
+};
+
+}  // namespace pmc

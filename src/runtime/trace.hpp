@@ -1,0 +1,97 @@
+// Instrumentation layer of the simulated comm fabric.
+//
+// CommTrace turns the fabric's raw event stream (sends, collectives, charged
+// compute) into the per-rank × per-round CommStats breakdowns, message-size
+// histograms and interior/boundary phase timers that RunResult::breakdown
+// surfaces — the per-phase counts related distributed-matching codes (Azad
+// et al., Birn et al.) report and that the aggregate-only CommStats could
+// not produce. An optional JSONL sink appends one trace event per line for
+// offline analysis.
+//
+// Round and phase are *attribution labels* set by the algorithm (or engine)
+// driving the fabric:
+//   * round — the algorithm's outer iteration at send time. The speculative
+//     coloring uses its coloring round; the asynchronous matching uses the
+//     sending rank's activation depth (messages handled so far).
+//   * phase — whether charged compute is interior work (local, no ghosts),
+//     boundary work (ghost/conflict handling), or unclassified.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/comm_stats.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+/// What a charged unit of compute was doing (instrumentation only; has no
+/// effect on modelled time).
+enum class WorkPhase : std::uint8_t { kInterior, kBoundary, kOther };
+
+/// Instrumentation options threaded through engine/algorithm options.
+struct TraceConfig {
+  /// When non-empty, every send / collective / round event is appended to
+  /// this file as one JSON object per line.
+  std::string jsonl_path;
+};
+
+/// Accumulates a run's instrumentation; owned by the CommFabric.
+class CommTrace {
+ public:
+  explicit CommTrace(TraceConfig config = {});
+  ~CommTrace();
+
+  CommTrace(CommTrace&&) noexcept;
+  CommTrace& operator=(CommTrace&&) noexcept;
+
+  /// Registers one more rank (per-rank vectors grow).
+  void add_rank();
+
+  /// Sets the round label future sends from rank r are attributed to.
+  void set_round(Rank r, int round);
+
+  /// Sets every rank's round label (BSP-style global rounds).
+  void set_round_all(int round);
+
+  /// Sets the phase future charges on rank r are attributed to.
+  void set_phase(Rank r, WorkPhase phase) noexcept;
+
+  [[nodiscard]] int round(Rank r) const noexcept {
+    return rank_round_[static_cast<std::size_t>(r)];
+  }
+
+  /// Charged compute on rank r, attributed to r's current phase.
+  void on_compute(Rank r, double seconds);
+  /// Charged compute with an explicit one-shot phase.
+  void on_compute(Rank r, double seconds, WorkPhase phase);
+
+  /// One point-to-point message; `total_bytes` includes the envelope.
+  void on_send(double time, Rank src, Rank dst, std::int64_t total_bytes,
+               std::int64_t records);
+
+  /// One barrier / allreduce completing at `time`.
+  void on_collective(double time);
+
+  [[nodiscard]] const CommBreakdown& breakdown() const noexcept {
+    return breakdown_;
+  }
+
+ private:
+  CommStats& round_slot(int round);
+  void emit_json(const std::string& line);
+
+  TraceConfig config_;
+  CommBreakdown breakdown_;
+  std::vector<int> rank_round_;
+  std::vector<WorkPhase> rank_phase_;
+  /// Highest round label seen; collectives are attributed to it (they are
+  /// global events, meaningful only for the BSP engine's global rounds).
+  int global_round_ = 0;
+  std::unique_ptr<std::ofstream> sink_;
+};
+
+}  // namespace pmc

@@ -1,0 +1,95 @@
+// Pinned-value determinism regression.
+//
+// The comm-fabric refactor (runtime/fabric.hpp) is required to be
+// bit-identical to the pre-fabric engines: same seed => same modelled time,
+// message count, volume and record count. These scenarios were captured on
+// the original engines and must keep reproducing to the last bit. If an
+// intentional cost-model or protocol change moves them, re-pin the constants
+// in the same change and say why.
+#include <gtest/gtest.h>
+
+#include "core/pmc.hpp"
+#include "partition/simple.hpp"
+
+namespace pmc {
+namespace {
+
+struct Pinned {
+  double sim_seconds;
+  std::int64_t messages;
+  std::int64_t bytes;
+  std::int64_t records;
+  std::int64_t collectives;
+  int rounds;
+};
+
+void expect_pinned(const RunResult& run, int rounds, const Pinned& pin) {
+  // Exact comparisons on purpose: the simulation is deterministic, so any
+  // drift at all means the modelled semantics changed.
+  EXPECT_EQ(run.sim_seconds, pin.sim_seconds);
+  EXPECT_EQ(run.comm.messages, pin.messages);
+  EXPECT_EQ(run.comm.bytes, pin.bytes);
+  EXPECT_EQ(run.comm.records, pin.records);
+  EXPECT_EQ(run.comm.collectives, pin.collectives);
+  EXPECT_EQ(rounds, pin.rounds);
+}
+
+TEST(DeterminismRegression, DistributedMatchingScenarios) {
+  const Graph g = grid_2d(48, 48, WeightKind::kUniformRandom, 61);
+  Rank pr = 0, pc = 0;
+  factor_processor_grid(8, pr, pc);
+  const Partition p = grid_2d_partition(48, 48, pr, pc);
+  const DistGraph dist = DistGraph::build(g, p);
+
+  DistMatchingOptions bundled;
+  const auto rb = match_distributed(dist, bundled);
+  expect_pinned(rb.run, rb.max_activations,
+                {7.13982000000031e-05, 42, 7634, 370, 0, 8});
+
+  DistMatchingOptions unbundled;
+  unbundled.bundled = false;
+  const auto ru = match_distributed(dist, unbundled);
+  expect_pinned(ru.run, ru.max_activations,
+                {0.00014886460000000065, 370, 18130, 370, 0, 59});
+
+  DistMatchingOptions jittered;
+  jittered.jitter_seconds = 2e-6;
+  jittered.jitter_seed = 7;
+  const auto rj = match_distributed(dist, jittered);
+  expect_pinned(rj.run, rj.max_activations,
+                {7.39322960400553e-05, 41, 7568, 368, 0, 8});
+
+  // Bundling and jitter change the schedule, never the matching itself.
+  EXPECT_EQ(rb.matching.mate, ru.matching.mate);
+  EXPECT_EQ(rb.matching.mate, rj.matching.mate);
+}
+
+TEST(DeterminismRegression, DistributedColoringScenarios) {
+  const Graph g = circuit_like(2000, 4000, 6, WeightKind::kUnit, 62);
+  const Partition p =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(3));
+  const DistGraph dist = DistGraph::build(g, p);
+
+  const auto rn = color_distributed(dist, DistColoringOptions::improved());
+  expect_pinned(rn.run, rn.rounds,
+                {0.0001315559999999999, 87, 7860, 423, 6, 3});
+
+  const auto rf = color_distributed(dist, DistColoringOptions::fiab());
+  expect_pinned(rf.run, rf.rounds,
+                {0.00016777360000000017, 231, 41244, 2821, 6, 3});
+
+  const auto rc = color_distributed(dist, DistColoringOptions::fiac());
+  expect_pinned(rc.run, rc.rounds,
+                {0.0001443111999999999, 119, 8884, 423, 6, 3});
+}
+
+TEST(DeterminismRegression, Distance2ColoringScenario) {
+  const Graph g = grid_2d(20, 20, WeightKind::kUnit, 63);
+  const Partition p = grid_2d_partition(20, 20, 2, 2);
+  const auto rd = color_distance2_distributed_native(g, p, {});
+  expect_pinned(rd.run, rd.rounds,
+                {0.00011627519999999997, 25, 3272, 206, 6, 3});
+}
+
+}  // namespace
+}  // namespace pmc

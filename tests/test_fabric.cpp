@@ -1,0 +1,386 @@
+// Tests for the shared communication fabric (runtime/fabric.hpp): clocks and
+// cost charging, the per-channel FIFO non-overtaking invariant (with and
+// without jitter), the Bundler and FanoutStage aggregation helpers, and the
+// per-rank / per-round instrumentation breakdowns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/pmc.hpp"
+#include "runtime/fabric.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+namespace {
+
+// ---- CommFabric: clocks, sends, collectives --------------------------------
+
+TEST(CommFabric, PostSendChargesOverheadAndPricesMessage) {
+  const MachineModel m = MachineModel::blue_gene_p();
+  CommFabric fabric(m);
+  fabric.add_rank();
+  fabric.add_rank();
+  const auto receipt = fabric.post_send(0, 1, 100, 3);
+  // The sender pays the LogP software overhead; the arrival adds the
+  // alpha-beta transfer cost on top.
+  EXPECT_DOUBLE_EQ(fabric.now(0), m.send_overhead);
+  EXPECT_DOUBLE_EQ(receipt.arrival, m.send_overhead + m.message_seconds(100.0));
+  EXPECT_EQ(receipt.seq, 0u);
+  EXPECT_EQ(fabric.comm().messages, 1);
+  EXPECT_EQ(fabric.comm().records, 3);
+  EXPECT_EQ(fabric.comm().bytes,
+            100 + static_cast<std::int64_t>(m.header_bytes));
+}
+
+TEST(CommFabric, RejectsInvalidSends) {
+  CommFabric fabric(MachineModel::zero_cost());
+  fabric.add_rank();
+  fabric.add_rank();
+  EXPECT_THROW((void)fabric.post_send(0, 0, 0, 0), Error);
+  EXPECT_THROW((void)fabric.post_send(0, 7, 0, 0), Error);
+}
+
+TEST(CommFabric, FifoNonOvertakingWithinChannel) {
+  CommFabric fabric(MachineModel::blue_gene_p());
+  fabric.add_rank();
+  fabric.add_rank();
+  const auto big = fabric.post_send(0, 1, 100000, 1);
+  const auto small = fabric.post_send(0, 1, 4, 1);
+  // The small message is cheaper but may not overtake the big one.
+  EXPECT_GE(small.arrival, big.arrival);
+}
+
+TEST(CommFabric, FifoNonOvertakingHoldsUnderJitter) {
+  FabricConfig config;
+  config.jitter_seconds = 1e-3;  // enormous vs the transfer costs
+  config.jitter_seed = 42;
+  CommFabric fabric(MachineModel::blue_gene_p(), config);
+  for (int r = 0; r < 3; ++r) fabric.add_rank();
+  std::map<std::pair<Rank, Rank>, double> last_arrival;
+  // A burst of variously-sized messages across several channels: arrivals
+  // must stay non-decreasing per (src, dst) channel no matter the jitter.
+  for (int i = 0; i < 64; ++i) {
+    const Rank src = static_cast<Rank>(i % 3);
+    const Rank dst = static_cast<Rank>((i + 1 + i % 2) % 3);
+    if (src == dst) continue;
+    const std::size_t bytes = static_cast<std::size_t>((i * 37) % 5000);
+    const auto receipt = fabric.post_send(src, dst, bytes, 1);
+    const auto key = std::make_pair(src, dst);
+    const auto it = last_arrival.find(key);
+    if (it != last_arrival.end()) {
+      EXPECT_GE(receipt.arrival, it->second)
+          << "message overtook its predecessor on channel " << src << "->"
+          << dst;
+    }
+    last_arrival[key] = receipt.arrival;
+  }
+}
+
+TEST(CommFabric, CollectiveAdvancesEveryClockToCommonHorizon) {
+  const MachineModel m = MachineModel::blue_gene_p();
+  CommFabric fabric(m);
+  for (int r = 0; r < 4; ++r) fabric.add_rank();
+  fabric.charge(2, 1000.0);
+  const double horizon = fabric.max_time();
+  fabric.complete_collective(horizon);
+  const double expected = horizon + m.collective_seconds(4);
+  for (Rank r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(fabric.now(r), expected);
+  EXPECT_EQ(fabric.comm().collectives, 1);
+}
+
+TEST(CommFabric, ChargeAttributesPhasesInBreakdown) {
+  MachineModel m = MachineModel::zero_cost();
+  m.seconds_per_work = 1.0;
+  CommFabric fabric(m);
+  fabric.add_rank();
+  fabric.add_rank();
+  fabric.charge(0, 2.0, WorkPhase::kInterior);
+  fabric.charge(0, 3.0, WorkPhase::kBoundary);
+  fabric.set_phase(1, WorkPhase::kBoundary);
+  fabric.charge(1, 5.0);  // attributed to the rank's sticky phase
+  const CommBreakdown& b = fabric.breakdown();
+  ASSERT_EQ(b.interior_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.interior_seconds[0], 2.0);
+  EXPECT_DOUBLE_EQ(b.boundary_seconds[0], 3.0);
+  EXPECT_DOUBLE_EQ(b.boundary_seconds[1], 5.0);
+  EXPECT_DOUBLE_EQ(b.interior_seconds[1], 0.0);
+}
+
+TEST(CommFabric, BreakdownAttributesSendsToRankAndRound) {
+  CommFabric fabric(MachineModel::blue_gene_p());
+  fabric.add_rank();
+  fabric.add_rank();
+  fabric.set_round(0, 0);
+  (void)fabric.post_send(0, 1, 8, 2);
+  fabric.set_round(0, 3);
+  (void)fabric.post_send(0, 1, 8, 1);
+  const CommBreakdown& b = fabric.breakdown();
+  ASSERT_EQ(b.per_rank.size(), 2u);
+  EXPECT_EQ(b.per_rank[0].messages, 2);
+  EXPECT_EQ(b.per_rank[1].messages, 0);
+  ASSERT_EQ(b.per_round.size(), 4u);  // rounds 0..3
+  EXPECT_EQ(b.per_round[0].records, 2);
+  EXPECT_EQ(b.per_round[1].messages, 0);
+  EXPECT_EQ(b.per_round[3].records, 1);
+}
+
+TEST(CommBreakdown, SizeBucketsArePowersOfTwo) {
+  EXPECT_EQ(CommBreakdown::size_bucket(0), 0u);
+  EXPECT_EQ(CommBreakdown::size_bucket(1), 0u);
+  EXPECT_EQ(CommBreakdown::size_bucket(2), 1u);
+  EXPECT_EQ(CommBreakdown::size_bucket(3), 1u);
+  EXPECT_EQ(CommBreakdown::size_bucket(1024), 10u);
+  EXPECT_EQ(CommBreakdown::size_bucket(std::int64_t{1} << 40),
+            kMessageSizeBuckets - 1);
+}
+
+// ---- Bundler ----------------------------------------------------------------
+
+/// Collects every (dst, payload, records) triple a Bundler emits and decodes
+/// the record ids back out for loss/duplication checks.
+struct SendLog {
+  struct Sent {
+    Rank dst;
+    std::vector<std::byte> payload;
+    std::int64_t records;
+  };
+  std::vector<Sent> sent;
+
+  auto sink() {
+    return [this](Rank dst, std::vector<std::byte> payload,
+                  std::int64_t records) {
+      sent.push_back({dst, std::move(payload), records});
+    };
+  }
+
+  [[nodiscard]] std::vector<int> decode_ids() const {
+    std::vector<int> ids;
+    for (const auto& s : sent) {
+      ByteReader r(s.payload);
+      std::int64_t count = 0;
+      while (!r.done()) {
+        ids.push_back(r.get<int>());
+        ++count;
+      }
+      EXPECT_EQ(count, s.records) << "record count disagrees with payload";
+    }
+    return ids;
+  }
+};
+
+std::vector<int> bundler_round_trip(BundleMode mode, std::size_t threshold,
+                                    int num_records, SendLog& log) {
+  Bundler bundler(mode, threshold);
+  std::vector<int> staged;
+  for (int i = 0; i < num_records; ++i) {
+    const Rank dst = static_cast<Rank>(i % 3);
+    bundler.add(dst, [i](ByteWriter& w) { w.put(i); }, log.sink());
+    staged.push_back(i);
+  }
+  bundler.flush(log.sink());
+  return staged;
+}
+
+TEST(Bundler, EagerSendsEachRecordAsItsOwnMessage) {
+  SendLog log;
+  const auto staged = bundler_round_trip(BundleMode::kEager, 0, 10, log);
+  EXPECT_EQ(log.sent.size(), 10u);
+  for (const auto& s : log.sent) EXPECT_EQ(s.records, 1);
+  auto ids = log.decode_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, staged);
+}
+
+TEST(Bundler, BundledFlushLosesAndDuplicatesNothing) {
+  SendLog log;
+  const auto staged = bundler_round_trip(BundleMode::kBundled, 0, 30, log);
+  // One message per destination that has records (3 destinations here).
+  EXPECT_EQ(log.sent.size(), 3u);
+  auto ids = log.decode_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, staged);
+}
+
+TEST(Bundler, SecondFlushSendsNothing) {
+  SendLog log;
+  Bundler bundler(BundleMode::kBundled);
+  bundler.add(1, [](ByteWriter& w) { w.put(7); }, log.sink());
+  bundler.flush(log.sink());
+  const std::size_t after_first = log.sent.size();
+  bundler.flush(log.sink());
+  EXPECT_EQ(log.sent.size(), after_first);
+  EXPECT_EQ(bundler.staged_records(), 0);
+}
+
+TEST(Bundler, ThresholdFlushBoundsStagedBytesWithoutLoss) {
+  SendLog log;
+  // Each record is sizeof(int) = 4 bytes; threshold 8 flushes every 2nd
+  // record per destination.
+  const auto staged = bundler_round_trip(BundleMode::kBundled, 8, 30, log);
+  for (const auto& s : log.sent) {
+    EXPECT_LE(s.payload.size(), 8u);
+    EXPECT_GE(s.records, 1);
+  }
+  EXPECT_GT(log.sent.size(), 3u);  // more messages than plain bundling
+  auto ids = log.decode_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, staged);
+}
+
+// ---- FanoutStage ------------------------------------------------------------
+
+TEST(FanoutStage, CustomizedNeighborsSendsOnlyToTouchedRanks) {
+  FanoutStage stage(4);
+  SendLog log;
+  stage.stage(1, VertexId{10}, Color{2});
+  stage.stage(3, VertexId{11}, Color{4});
+  stage.stage(1, VertexId{12}, Color{1});
+  stage.flush(SendPolicy::kCustomizedNeighbors, 0, log.sink());
+  ASSERT_EQ(log.sent.size(), 2u);
+  EXPECT_EQ(log.sent[0].dst, 1);
+  EXPECT_EQ(log.sent[0].records, 2);
+  EXPECT_EQ(log.sent[1].dst, 3);
+  EXPECT_EQ(log.sent[1].records, 1);
+}
+
+TEST(FanoutStage, CustomizedAllSendsPossiblyEmptyMessageToEveryOtherRank) {
+  FanoutStage stage(4);
+  SendLog log;
+  stage.stage(1, VertexId{10}, Color{2});
+  stage.flush(SendPolicy::kCustomizedAll, 2, log.sink());
+  // Three messages (every rank but the source), only one non-empty.
+  ASSERT_EQ(log.sent.size(), 3u);
+  std::int64_t nonempty = 0;
+  for (const auto& s : log.sent) {
+    EXPECT_NE(s.dst, 2);
+    if (!s.payload.empty()) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 1);
+}
+
+TEST(FanoutStage, BroadcastUnionCopiesTheUnionToEveryOtherRank) {
+  FanoutStage stage(4);
+  SendLog log;
+  stage.stage_union(VertexId{10}, Color{2});
+  stage.stage_union(VertexId{11}, Color{3});
+  stage.flush(SendPolicy::kBroadcastUnion, 1, log.sink());
+  ASSERT_EQ(log.sent.size(), 3u);
+  for (const auto& s : log.sent) {
+    EXPECT_NE(s.dst, 1);
+    EXPECT_EQ(s.records, 2);
+    EXPECT_EQ(s.payload, log.sent.front().payload);
+  }
+}
+
+TEST(FanoutStage, FlushResetsStateBetweenSupersteps) {
+  FanoutStage stage(3);
+  SendLog log;
+  stage.stage(1, VertexId{10}, Color{0});
+  stage.flush(SendPolicy::kCustomizedNeighbors, 0, log.sink());
+  stage.flush(SendPolicy::kCustomizedNeighbors, 0, log.sink());
+  EXPECT_EQ(log.sent.size(), 1u);  // nothing staged for the second flush
+}
+
+// ---- JSONL sink -------------------------------------------------------------
+
+TEST(CommTrace, JsonlSinkRecordsSendsAndCollectives) {
+  FabricConfig config;
+  config.trace.jsonl_path = testing::TempDir() + "pmc_fabric_trace.jsonl";
+  {
+    CommFabric fabric(MachineModel::blue_gene_p(), config);
+    fabric.add_rank();
+    fabric.add_rank();
+    fabric.set_round(0, 1);
+    (void)fabric.post_send(0, 1, 16, 2);
+    fabric.complete_collective(fabric.max_time());
+  }  // closes the sink
+  std::ifstream in(config.trace.jsonl_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // round, send, collective
+  EXPECT_NE(lines[0].find(R"("ev":"round")"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("ev":"send")"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("records":2)"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("ev":"collective")"), std::string::npos);
+}
+
+// ---- cross-engine determinism and breakdown consistency --------------------
+
+CommStats sum_stats(const std::vector<CommStats>& parts) {
+  CommStats total;
+  for (const CommStats& s : parts) {
+    total.messages += s.messages;
+    total.bytes += s.bytes;
+    total.records += s.records;
+  }
+  return total;
+}
+
+void expect_breakdown_consistent(const RunResult& run) {
+  const CommStats by_rank = sum_stats(run.breakdown.per_rank);
+  EXPECT_EQ(by_rank.messages, run.comm.messages);
+  EXPECT_EQ(by_rank.bytes, run.comm.bytes);
+  EXPECT_EQ(by_rank.records, run.comm.records);
+  const CommStats by_round = sum_stats(run.breakdown.per_round);
+  EXPECT_EQ(by_round.messages, run.comm.messages);
+  EXPECT_EQ(by_round.bytes, run.comm.bytes);
+  EXPECT_EQ(by_round.records, run.comm.records);
+  const std::int64_t histogram_total =
+      std::accumulate(run.breakdown.message_size_histogram.begin(),
+                      run.breakdown.message_size_histogram.end(),
+                      std::int64_t{0});
+  EXPECT_EQ(histogram_total, run.comm.messages);
+}
+
+TEST(FabricDeterminism, EventEngineRunsAreBitIdenticalAndConsistent) {
+  const Graph g = grid_2d(24, 24, WeightKind::kUniformRandom, 5);
+  const Partition p = grid_2d_partition(24, 24, 2, 2);
+  const DistGraph dist = DistGraph::build(g, p);
+  DistMatchingOptions options;
+  const auto a = match_distributed(dist, options);
+  const auto b = match_distributed(dist, options);
+  EXPECT_EQ(a.run.sim_seconds, b.run.sim_seconds);
+  EXPECT_EQ(a.run.comm.messages, b.run.comm.messages);
+  EXPECT_EQ(a.run.comm.bytes, b.run.comm.bytes);
+  EXPECT_EQ(a.run.comm.records, b.run.comm.records);
+  expect_breakdown_consistent(a.run);
+}
+
+TEST(FabricDeterminism, BundleFlushThresholdNeverChangesTheMatching) {
+  const Graph g = grid_2d(24, 24, WeightKind::kUniformRandom, 5);
+  const Partition p = grid_2d_partition(24, 24, 2, 2);
+  const DistGraph dist = DistGraph::build(g, p);
+  DistMatchingOptions plain;
+  const auto base = match_distributed(dist, plain);
+  DistMatchingOptions capped;
+  capped.bundle_flush_bytes = 64;  // force mid-activation flushes
+  const auto res = match_distributed(dist, capped);
+  EXPECT_EQ(res.matching.mate, base.matching.mate);
+  // Smaller bundles mean at least as many messages for the same records.
+  EXPECT_GE(res.run.comm.messages, base.run.comm.messages);
+  EXPECT_EQ(res.run.comm.records, base.run.comm.records);
+  expect_breakdown_consistent(res.run);
+}
+
+TEST(FabricDeterminism, BspEngineRunsAreBitIdenticalAndConsistent) {
+  const Graph g = circuit_like(600, 1200, 5, WeightKind::kUnit, 9);
+  const Partition p = block_partition(g.num_vertices(), 4);
+  const auto options = DistColoringOptions::improved();
+  const auto a = color_distributed(g, p, options);
+  const auto b = color_distributed(g, p, options);
+  EXPECT_EQ(a.run.sim_seconds, b.run.sim_seconds);
+  EXPECT_EQ(a.run.comm.messages, b.run.comm.messages);
+  EXPECT_EQ(a.run.comm.bytes, b.run.comm.bytes);
+  EXPECT_EQ(a.run.comm.records, b.run.comm.records);
+  EXPECT_EQ(a.run.comm.collectives, b.run.comm.collectives);
+  expect_breakdown_consistent(a.run);
+}
+
+}  // namespace
+}  // namespace pmc
