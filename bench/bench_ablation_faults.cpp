@@ -1,0 +1,142 @@
+// Ablation A6 — fault injection and the cost of recovery.
+//
+// The paper's algorithms assume a reliable network; this ablation measures
+// what resilience costs when that assumption is dropped. It sweeps message
+// drop rates (with a proportional duplication rate) over the distributed
+// matching and coloring and reports the injected fault counts, the recovery
+// traffic (retries and backoff for the matching's ack/retry transport,
+// repair re-entries for the coloring) and the modelled-time overhead
+// relative to the fault-free run. The computed matching is verified to be
+// bit-identical to the fault-free one at every point; the coloring is
+// verified conflict-free.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+namespace pmc::bench {
+namespace {
+
+int run(int argc, const char** argv) {
+  Options opts;
+  opts.add("grid", "128", "grid side length (matching input)");
+  opts.add("vertices", "4000", "circuit-like vertex count (coloring input)");
+  opts.add("ranks", "16", "processor count");
+  opts.add("drops", "0,0.001,0.01,0.05,0.1,0.2",
+           "comma-separated drop rates");
+  opts.add("dup-fraction", "0.4",
+           "duplication rate as a fraction of the drop rate");
+  opts.add("seed", "1", "fault verdict seed");
+  opts.add("csv", "", "optional CSV output path");
+  (void)opts.parse(argc, argv);
+  const auto side = static_cast<VertexId>(opts.get_int("grid"));
+  const auto nverts = static_cast<VertexId>(opts.get_int("vertices"));
+  const auto ranks = static_cast<Rank>(opts.get_int("ranks"));
+  const double dup_fraction = opts.get_double("dup-fraction");
+  const auto fault_seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  std::vector<double> drop_list;
+  {
+    std::istringstream iss(opts.get("drops"));
+    std::string tok;
+    while (std::getline(iss, tok, ',')) drop_list.push_back(std::stod(tok));
+  }
+
+  banner("Ablation A6 — fault injection (matching + coloring)",
+         "the ack/retry transport and repair re-entry recover every injected "
+         "fault; recovery costs modelled time, never correctness");
+
+  // Matching input.
+  const Graph gm = grid_2d(side, side, WeightKind::kUniformRandom, 61);
+  Rank pr = 0, pc = 0;
+  factor_processor_grid(ranks, pr, pc);
+  const Partition pm = grid_2d_partition(side, side, pr, pc);
+  const DistGraph dm = DistGraph::build(gm, pm);
+  const auto match_base = match_distributed(dm, {});
+
+  // Coloring input.
+  const Graph gc = circuit_like(nverts, 2 * nverts, 6, WeightKind::kUnit, 62);
+  const Partition pcoloring = block_partition(gc.num_vertices(), ranks);
+  const DistGraph dc = DistGraph::build(gc, pcoloring);
+  const auto color_base = color_distributed(dc, DistColoringOptions::improved());
+
+  TextTable table({"algorithm", "drop", "dup", "drops", "dups", "retries",
+                   "backoff (s)", "reentries", "messages", "time (s)",
+                   "overhead"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight});
+  table.set_title("recovery cost vs injected fault rate");
+  CsvSink csv(opts.get("csv"),
+              {"algorithm", "drop_rate", "dup_rate", "drops", "duplicates",
+               "retries", "backoff_seconds", "reentries", "messages", "bytes",
+               "sim_seconds", "overhead"});
+
+  for (const double drop : drop_list) {
+    FaultConfig faults;
+    faults.drop_rate = drop;
+    faults.duplicate_rate = drop * dup_fraction;
+    faults.seed = fault_seed;
+
+    {
+      DistMatchingOptions opt;
+      opt.faults = faults;
+      const auto r = match_distributed(dm, opt);
+      PMC_CHECK(r.matching.mate == match_base.matching.mate,
+                "faults changed the matching at drop rate " << drop);
+      const FaultStats f = r.run.breakdown.total_faults();
+      const double overhead = r.run.sim_seconds / match_base.run.sim_seconds;
+      table.add_row({"matching", cell(drop, 3), cell(faults.duplicate_rate, 3),
+                     cell_count(f.drops), cell_count(f.duplicates),
+                     cell_count(f.retries), cell_sci(f.backoff_seconds),
+                     "-", cell_count(r.run.comm.messages),
+                     cell_sci(r.run.sim_seconds), cell(overhead, 2) + "x"});
+      csv.row({"matching", std::to_string(drop),
+               std::to_string(faults.duplicate_rate), std::to_string(f.drops),
+               std::to_string(f.duplicates), std::to_string(f.retries),
+               std::to_string(f.backoff_seconds), "0",
+               std::to_string(r.run.comm.messages),
+               std::to_string(r.run.comm.bytes),
+               std::to_string(r.run.sim_seconds), std::to_string(overhead)});
+    }
+    {
+      DistColoringOptions opt = DistColoringOptions::improved();
+      opt.faults = faults;
+      const auto r = color_distributed(dc, opt);
+      std::string why;
+      PMC_CHECK(is_proper_coloring(gc, r.coloring, &why),
+                "faults broke the coloring at drop rate " << drop << ": "
+                                                          << why);
+      const FaultStats f = r.run.breakdown.total_faults();
+      const double overhead = r.run.sim_seconds / color_base.run.sim_seconds;
+      table.add_row({"coloring", cell(drop, 3), cell(faults.duplicate_rate, 3),
+                     cell_count(f.drops), cell_count(f.duplicates), "-", "-",
+                     cell_count(r.fault_reentries),
+                     cell_count(r.run.comm.messages),
+                     cell_sci(r.run.sim_seconds), cell(overhead, 2) + "x"});
+      csv.row({"coloring", std::to_string(drop),
+               std::to_string(faults.duplicate_rate), std::to_string(f.drops),
+               std::to_string(f.duplicates), "0", "0",
+               std::to_string(r.fault_reentries),
+               std::to_string(r.run.comm.messages),
+               std::to_string(r.run.comm.bytes),
+               std::to_string(r.run.sim_seconds), std::to_string(overhead)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(the matching stays bit-identical under every fault rate; "
+               "the coloring stays conflict-free, paying extra repair "
+               "rounds instead of retransmissions)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pmc::bench
+
+int main(int argc, const char** argv) {
+  try {
+    return pmc::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_ablation_faults: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -15,7 +15,9 @@ tier1() {
   echo "==== tier-1: build + full test suite ===="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "$JOBS"
-  ctest --test-dir build --output-on-failure -j "$JOBS"
+  # --timeout is a backstop for tests predating the per-test TIMEOUT
+  # properties; a wedged simulation fails instead of hanging CI.
+  ctest --test-dir build --output-on-failure -j "$JOBS" --timeout 300
 }
 
 asan() {
@@ -25,8 +27,11 @@ asan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   # The fabric/engine layer and every simulated distributed algorithm —
   # the code that moves raw bytes around and is worth sanitizing hardest.
+  # test_chaos drives the fault-injection + ack/retry paths, which touch
+  # serialized payloads the most aggressively.
   local tests=(
     test_fabric
+    test_chaos
     test_determinism_regression
     test_runtime_engines
     test_dist_graph
@@ -37,7 +42,8 @@ asan() {
   cmake --build build-asan -j "$JOBS" --target "${tests[@]}"
   local regex
   regex="^($(IFS='|'; echo "${tests[*]}"))$"
-  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$regex"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$regex" \
+    --timeout 600
 }
 
 case "$STAGE" in

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_set>
 
 #include "runtime/bsp_engine.hpp"
 #include "runtime/fabric.hpp"
@@ -156,7 +157,9 @@ DistColoringResult color_distance2_distributed_native(
   Timer wall;
   const auto views = build_dist2_views(g, p);
   const Rank P = p.num_parts();
-  BspEngine engine(P, options.model, options.trace);
+  BspEngine engine(P, options.model,
+                   FabricConfig{0.0, 0, options.faults, options.trace});
+  const bool faults_on = engine.faults_enabled();
 
   std::vector<D2RankState> states(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
@@ -172,6 +175,10 @@ DistColoringResult color_distance2_distributed_native(
   // Two-hop recipients are precomputed per vertex, so the distance-2 flush
   // always uses the neighbor-customized policy (the paper's NEW mode).
   FanoutStage stage(P);
+  // Global ids whose color announcement was dropped this round, per sending
+  // rank; the conflict phase resets and re-enters them (same recovery as the
+  // distance-1 coloring).
+  std::vector<std::unordered_set<VertexId>> lost(static_cast<std::size_t>(P));
 
   while (true) {
     VertexId max_todo = 0;
@@ -218,9 +225,23 @@ DistColoringResult color_distance2_distributed_native(
           }
         }
         stage.flush(SendPolicy::kCustomizedNeighbors, r,
-                    [&engine, r](Rank dst, std::vector<std::byte> payload,
-                                 std::int64_t records) {
-                      engine.send(r, dst, std::move(payload), records);
+                    [&engine, &lost, faults_on, r](
+                        Rank dst, std::vector<std::byte> payload,
+                        std::int64_t records) {
+                      if (!faults_on) {
+                        engine.send(r, dst, std::move(payload), records);
+                        return;
+                      }
+                      const auto receipt =
+                          engine.send(r, dst, payload, records);
+                      if (receipt.dropped) {
+                        ByteReader reader(payload);
+                        while (!reader.done()) {
+                          const auto global = reader.get<VertexId>();
+                          (void)reader.get<Color>();
+                          lost[static_cast<std::size_t>(r)].insert(global);
+                        }
+                      }
                     });
       }
       ++result.total_supersteps;
@@ -246,10 +267,19 @@ DistColoringResult color_distance2_distributed_native(
     for (Rank r = 0; r < P; ++r) {
       D2RankState& st = states[static_cast<std::size_t>(r)];
       const Dist2RankView& view = *st.view;
+      auto& lost_r = lost[static_cast<std::size_t>(r)];
       st.to_color.clear();
       for (const VertexId v : st.colored_d2_boundary) {
         const Color cv = st.color[static_cast<std::size_t>(v)];
         const VertexId gv = view.global_ids[static_cast<std::size_t>(v)];
+        if (faults_on && lost_r.count(gv) != 0) {
+          // Some two-hop recipient never learned cv; re-enter
+          // unconditionally.
+          st.color[static_cast<std::size_t>(v)] = kNoColor;
+          st.to_color.push_back(v);
+          ++result.fault_reentries;
+          continue;
+        }
         const std::uint64_t rv = vertex_priority(gv, options.seed);
         bool lose = false;
         double work = 1.0;
@@ -279,6 +309,7 @@ DistColoringResult color_distance2_distributed_native(
         }
       }
       st.colored_d2_boundary.clear();
+      lost_r.clear();
     }
     result.conflicts_per_round.push_back(recolored);
     ++result.rounds;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_set>
 
 #include "runtime/bsp_engine.hpp"
 #include "runtime/fabric.hpp"
@@ -82,7 +83,9 @@ DistColoringResult color_distributed(const DistGraph& dist,
   PMC_REQUIRE(options.superstep_size >= 1, "superstep size must be >= 1");
   Timer wall;
   const Rank P = dist.num_ranks();
-  BspEngine engine(P, options.model, options.trace);
+  BspEngine engine(P, options.model,
+                   FabricConfig{0.0, 0, options.faults, options.trace});
+  const bool faults_on = engine.faults_enabled();
 
   std::vector<RankState> states(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
@@ -130,10 +133,28 @@ DistColoringResult color_distributed(const DistGraph& dist,
   // Per-destination staging for one superstep of one rank, flushed under the
   // configured fabric send policy (FIAB / FIAC / NEW).
   FanoutStage stage(P);
-  const auto send_from = [&engine](Rank src) {
-    return [&engine, src](Rank dst, std::vector<std::byte> payload,
-                          std::int64_t records) {
-      engine.send(src, dst, std::move(payload), records);
+  // Global ids whose color announcement was dropped this round, per sending
+  // rank; the conflict phase resets and re-enters them.
+  std::vector<std::unordered_set<VertexId>> lost(static_cast<std::size_t>(P));
+  const auto send_from = [&engine, &lost, faults_on](Rank src) {
+    return [&engine, &lost, faults_on, src](Rank dst,
+                                            std::vector<std::byte> payload,
+                                            std::int64_t records) {
+      if (!faults_on) {
+        engine.send(src, dst, std::move(payload), records);
+        return;
+      }
+      const auto receipt = engine.send(src, dst, payload, records);
+      if (receipt.dropped) {
+        // The receiver never sees these colors, so conflict detection there
+        // cannot be symmetric; the sender re-enters the vertices instead.
+        ByteReader reader(payload);
+        while (!reader.done()) {
+          const auto global = reader.get<VertexId>();
+          (void)reader.get<Color>();
+          lost[static_cast<std::size_t>(src)].insert(global);
+        }
+      }
     };
   };
 
@@ -214,12 +235,21 @@ DistColoringResult color_distributed(const DistGraph& dist,
     for (Rank r = 0; r < P; ++r) {
       RankState& st = states[static_cast<std::size_t>(r)];
       const LocalGraph& lg = *st.lg;
+      auto& lost_r = lost[static_cast<std::size_t>(r)];
       st.to_color.clear();
       for (const VertexId v : st.colored_boundary) {
         engine.charge(r, static_cast<double>(lg.degree(v)),
                       WorkPhase::kBoundary);
         const Color cv = st.color[static_cast<std::size_t>(v)];
         const VertexId gv = lg.global_id(v);
+        if (faults_on && lost_r.count(gv) != 0) {
+          // Some receiver never learned cv; re-enter unconditionally (it
+          // will recolor — and re-announce — next round).
+          st.color[static_cast<std::size_t>(v)] = kNoColor;
+          st.to_color.push_back(v);
+          ++result.fault_reentries;
+          continue;
+        }
         bool lose = false;
         for (VertexId u : lg.neighbors(v)) {
           if (!lg.is_ghost(u)) continue;
@@ -241,6 +271,7 @@ DistColoringResult color_distributed(const DistGraph& dist,
         }
       }
       st.colored_boundary.clear();
+      lost_r.clear();
     }
     result.conflicts_per_round.push_back(recolored);
     ++result.rounds;

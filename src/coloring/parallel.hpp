@@ -52,6 +52,12 @@ struct DistColoringOptions {
   std::uint64_t seed = 0;
   /// Safety bound on rounds (the framework converges in ~6 on real inputs).
   int max_rounds = 1000;
+  /// Deterministic fault injection. A dropped boundary-color message makes
+  /// the *sender* reset the affected vertices and re-enter them into the
+  /// conflict-repair loop (their colors were invisible to the receiver, so
+  /// conflict detection there could not have been symmetric); the final
+  /// coloring stays conflict-free. Disabled by default.
+  FaultConfig faults;
   /// Instrumentation options (optional JSONL trace sink).
   TraceConfig trace;
 
@@ -71,6 +77,9 @@ struct DistColoringResult {
   int rounds = 0;
   std::vector<EdgeId> conflicts_per_round;  ///< Vertices recolored per round.
   std::int64_t total_supersteps = 0;
+  /// Vertices re-entered into repair because their color announcement was
+  /// dropped by the fault layer (0 when faults are disabled).
+  std::int64_t fault_reentries = 0;
 };
 
 /// Runs the distributed coloring on a pre-built distribution.

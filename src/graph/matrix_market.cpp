@@ -38,9 +38,13 @@ SparseMatrix read_matrix_market(std::istream& in) {
   PMC_REQUIRE(symmetry == "general" || symmetry == "symmetric",
               "unsupported symmetry '" << symmetry << "'");
 
-  // Skip comments.
+  // Skip comments and blank lines. A line of only whitespace (or a bare \r
+  // from a CRLF file) is blank, not the size line.
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    const auto first = line.find_first_not_of(" \t\r\n\v\f");
+    if (first == std::string::npos) continue;  // blank
+    if (line[first] == '%') continue;          // comment
+    break;
   }
   std::istringstream sizes(line);
   SparseMatrix m;

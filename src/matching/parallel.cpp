@@ -394,8 +394,9 @@ class MatchProcess final : public Process {
 
 DistMatchingResult match_distributed(const DistGraph& dist,
                                      const DistMatchingOptions& options) {
-  EventEngine engine(options.model, options.jitter_seconds,
-                     options.jitter_seed, options.trace);
+  EventEngine engine(options.model,
+                     FabricConfig{options.jitter_seconds, options.jitter_seed,
+                                  options.faults, options.trace});
   for (Rank r = 0; r < dist.num_ranks(); ++r) {
     engine.add_process(
         std::make_unique<MatchProcess>(dist.local(r), options));

@@ -29,6 +29,7 @@
 #include "partition/partition.hpp"
 #include "runtime/comm_stats.hpp"
 #include "runtime/dist_graph.hpp"
+#include "runtime/fabric.hpp"
 #include "runtime/machine_model.hpp"
 #include "runtime/trace.hpp"
 
@@ -50,6 +51,10 @@ struct DistMatchingOptions {
   /// arrival orders (paper Fig 3.1 discussion). 0 disables.
   double jitter_seconds = 0.0;
   std::uint64_t jitter_seed = 0;
+  /// Deterministic fault injection (drops / duplicates / delays / stalls);
+  /// when enabled the runtime's ack/retry transport recovers lost records,
+  /// so the computed matching equals the fault-free one. Disabled default.
+  FaultConfig faults;
   /// Instrumentation options (optional JSONL trace sink).
   TraceConfig trace;
 };

@@ -7,7 +7,11 @@
 namespace pmc {
 
 BspEngine::BspEngine(Rank num_ranks, MachineModel model, TraceConfig trace)
-    : fabric_(std::move(model), CommFabric::Config{0.0, 0, std::move(trace)}) {
+    : BspEngine(num_ranks, std::move(model),
+                CommFabric::Config{0.0, 0, FaultConfig{}, std::move(trace)}) {}
+
+BspEngine::BspEngine(Rank num_ranks, MachineModel model, FabricConfig config)
+    : fabric_(std::move(model), std::move(config)) {
   PMC_REQUIRE(num_ranks >= 1, "need at least one rank");
   for (Rank r = 0; r < num_ranks; ++r) (void)fabric_.add_rank();
   inboxes_.resize(static_cast<std::size_t>(num_ranks));
@@ -21,9 +25,16 @@ void BspEngine::charge(Rank r, double work_units, WorkPhase phase) {
   fabric_.charge(r, work_units, phase);
 }
 
-void BspEngine::send(Rank src, Rank dst, std::vector<std::byte> payload,
-                     std::int64_t records) {
+CommFabric::SendReceipt BspEngine::send(Rank src, Rank dst,
+                                        std::vector<std::byte> payload,
+                                        std::int64_t records) {
   const auto receipt = fabric_.post_send(src, dst, payload.size(), records);
+  if (receipt.dropped) return receipt;  // lost: never reaches the inbox
+  // A duplicated copy is filtered at the receiver rather than delivered: a
+  // copy straggling into a *later* round would carry a stale color and could
+  // make conflict detection asymmetric. (The event engine's transport does
+  // the same by sequence number; here the round structure stands in for it.)
+  if (receipt.duplicated) fabric_.note_dup_suppressed(dst);
 
   BspMessage msg;
   msg.src = src;
@@ -37,6 +48,7 @@ void BspEngine::send(Rank src, Rank dst, std::vector<std::byte> payload,
     --pos;
   }
   inbox.insert(pos, std::move(msg));
+  return receipt;
 }
 
 std::vector<BspMessage> BspEngine::poll(Rank r) {

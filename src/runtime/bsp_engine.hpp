@@ -42,6 +42,14 @@ class BspEngine {
  public:
   BspEngine(Rank num_ranks, MachineModel model, TraceConfig trace = {});
 
+  /// Full-configuration constructor. When config.fault is enabled, send()
+  /// reports drops and duplicates through its receipt: a dropped message is
+  /// never delivered (the *algorithm* recovers — e.g. the coloring re-enters
+  /// affected vertices into conflict repair), a duplicated copy is filtered
+  /// at the receiver (counted as suppressed) so a straggler cannot carry
+  /// stale state into a later superstep.
+  BspEngine(Rank num_ranks, MachineModel model, FabricConfig config);
+
   [[nodiscard]] Rank num_ranks() const noexcept { return fabric_.num_ranks(); }
 
   /// Advances rank r's clock by work_units * seconds_per_work; the phase
@@ -51,9 +59,17 @@ class BspEngine {
 
   /// Sends payload from src to dst; arrival is modelled with the alpha-beta
   /// cost and FIFO per-channel ordering. `records` counts algorithm records
-  /// for statistics.
-  void send(Rank src, Rank dst, std::vector<std::byte> payload,
-            std::int64_t records);
+  /// for statistics. The receipt reports fault verdicts (always clean when
+  /// faults are disabled).
+  CommFabric::SendReceipt send(Rank src, Rank dst,
+                               std::vector<std::byte> payload,
+                               std::int64_t records);
+
+  /// Whether the fabric injects faults (drives the algorithms' recovery
+  /// paths).
+  [[nodiscard]] bool faults_enabled() const noexcept {
+    return fabric_.config().fault.enabled();
+  }
 
   /// Delivers messages to r whose arrival time has passed r's clock.
   [[nodiscard]] std::vector<BspMessage> poll(Rank r);

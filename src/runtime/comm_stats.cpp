@@ -12,11 +12,28 @@ std::string CommStats::to_string() const {
   return oss.str();
 }
 
+std::string FaultStats::to_string() const {
+  std::ostringstream oss;
+  oss << "drops=" << drops << " dups=" << duplicates << " suppressed="
+      << dup_suppressed << " retries=" << retries << " backoff="
+      << backoff_seconds << "s";
+  return oss.str();
+}
+
 std::size_t CommBreakdown::size_bucket(std::int64_t bytes) noexcept {
+  // Degenerate sizes (empty payloads, defensive negative inputs) land in the
+  // first bucket; bit_width on the sign-extended cast would otherwise index
+  // far past the histogram.
   if (bytes <= 1) return 0;
   const auto width = static_cast<std::size_t>(
       std::bit_width(static_cast<std::uint64_t>(bytes)) - 1);
   return width < kMessageSizeBuckets ? width : kMessageSizeBuckets - 1;
+}
+
+FaultStats CommBreakdown::total_faults() const noexcept {
+  FaultStats total;
+  for (const FaultStats& f : per_rank_faults) total += f;
+  return total;
 }
 
 std::string CommBreakdown::to_string() const {
@@ -31,6 +48,8 @@ std::string CommBreakdown::to_string() const {
     oss << (std::int64_t{1} << i) << "B:" << message_size_histogram[i];
   }
   oss << ']';
+  const FaultStats faults = total_faults();
+  if (faults.any()) oss << " faults=[" << faults.to_string() << ']';
   return oss.str();
 }
 

@@ -30,6 +30,34 @@ struct CommStats {
 /// the last bucket absorbs everything larger.
 inline constexpr std::size_t kMessageSizeBuckets = 24;
 
+/// Fault-injection and recovery counters (all zero when the fault layer is
+/// disabled). Drops/duplicates are charged to the *sending* rank (the fabric
+/// injected the fault on its message); suppressed duplicates to the
+/// *receiving* rank (its transport filtered the copy); retries and backoff
+/// to the rank whose transport re-sent.
+struct FaultStats {
+  std::int64_t drops = 0;           ///< Messages the fabric dropped.
+  std::int64_t duplicates = 0;      ///< Messages the fabric duplicated.
+  std::int64_t dup_suppressed = 0;  ///< Duplicate copies filtered on receive.
+  std::int64_t retries = 0;         ///< Transport retransmissions.
+  double backoff_seconds = 0.0;     ///< Total time spent in retry backoff.
+
+  void operator+=(const FaultStats& other) noexcept {
+    drops += other.drops;
+    duplicates += other.duplicates;
+    dup_suppressed += other.dup_suppressed;
+    retries += other.retries;
+    backoff_seconds += other.backoff_seconds;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    return drops != 0 || duplicates != 0 || dup_suppressed != 0 ||
+           retries != 0 || backoff_seconds != 0.0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Fine-grained view of a run's communication, filled by the fabric's
 /// instrumentation layer (runtime/trace.hpp): who sent (per rank), when in
 /// the algorithm (per round), how big (size histogram), and how the charged
@@ -47,9 +75,17 @@ struct CommBreakdown {
   std::vector<double> interior_seconds;
   std::vector<double> boundary_seconds;
   std::vector<double> other_seconds;
+  /// Injected faults and recovery work, attributed like the CommStats above:
+  /// per sending/retrying rank and per that rank's round label at the time.
+  /// Both stay empty-summing (all zeros) when fault injection is off.
+  std::vector<FaultStats> per_rank_faults;
+  std::vector<FaultStats> per_round_faults;
 
   /// Histogram bucket for a message of `bytes` total size.
   [[nodiscard]] static std::size_t size_bucket(std::int64_t bytes) noexcept;
+
+  /// Sum of the per-rank fault counters (whole-run fault totals).
+  [[nodiscard]] FaultStats total_faults() const noexcept;
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -1,11 +1,22 @@
 #include "runtime/event_engine.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
 namespace pmc {
+
+namespace {
+
+/// Modelled wire overhead of the reliable transport (faults enabled only):
+/// a kind tag plus the 8-byte channel sequence number on every data
+/// message, and the same 12 bytes as an ack's whole payload.
+constexpr std::size_t kTransportHeaderBytes = 12;
+constexpr std::size_t kAckPayloadBytes = 12;
+
+}  // namespace
 
 Rank EventContext::num_ranks() const noexcept { return engine_->num_ranks(); }
 
@@ -30,11 +41,15 @@ void EventContext::set_phase(WorkPhase phase) noexcept {
   engine_->fabric_.set_phase(rank_, phase);
 }
 
+EventEngine::EventEngine(MachineModel model, FabricConfig config)
+    : fabric_(std::move(model), std::move(config)),
+      transport_(fabric_.config().fault.enabled()) {}
+
 EventEngine::EventEngine(MachineModel model, double jitter_seconds,
                          std::uint64_t jitter_seed, TraceConfig trace)
-    : fabric_(std::move(model),
-              CommFabric::Config{jitter_seconds, jitter_seed,
-                                 std::move(trace)}) {}
+    : EventEngine(std::move(model),
+                  CommFabric::Config{jitter_seconds, jitter_seed,
+                                     FaultConfig{}, std::move(trace)}) {}
 
 Rank EventEngine::add_process(std::unique_ptr<Process> process) {
   PMC_REQUIRE(process != nullptr, "null process");
@@ -43,18 +58,148 @@ Rank EventEngine::add_process(std::unique_ptr<Process> process) {
   return fabric_.add_rank();
 }
 
-void EventEngine::enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
-                          std::int64_t records) {
-  const auto receipt =
-      fabric_.post_send(src, dst, payload.size(), records);
-  Event ev;
-  ev.time = receipt.arrival;
-  ev.seq = receipt.seq;
-  ev.src = src;
-  ev.dst = dst;
-  ev.payload = std::move(payload);
+void EventEngine::push_event(Event ev) {
+  ev.seq = order_seq_++;
   queue_.push(std::move(ev));
   ++events_posted_;
+}
+
+void EventEngine::enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
+                          std::int64_t records) {
+  if (!transport_) {
+    const auto receipt = fabric_.post_send(src, dst, payload.size(), records);
+    Event ev;
+    ev.time = receipt.arrival;
+    ev.src = src;
+    ev.dst = dst;
+    ev.payload = std::move(payload);
+    push_event(std::move(ev));
+    return;
+  }
+  const std::uint64_t channel = channel_key(src, dst);
+  const std::uint64_t tseq = next_tseq_[channel]++;
+  Pending& entry = unacked_[channel][tseq];
+  entry.payload = std::move(payload);
+  entry.records = records;
+  transmit(src, dst, tseq);
+}
+
+void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq) {
+  const FaultConfig& F = fabric_.config().fault;
+  const std::uint64_t channel = channel_key(src, dst);
+  Pending& entry = unacked_[channel][tseq];
+  entry.attempt += 1;
+  const bool final_attempt = entry.attempt >= F.max_attempts;
+  const bool exempt = final_attempt && F.reliable_tail;
+  const auto receipt =
+      fabric_.post_send(src, dst, entry.payload.size() + kTransportHeaderBytes,
+                        entry.records, exempt);
+  if (receipt.dropped) {
+    if (final_attempt) {
+      // reliable_tail is off and the last try was lost: no further recovery
+      // is possible, fail loudly rather than hang or silently diverge.
+      PMC_FAIL("retry budget exhausted: rank " << src << " -> rank " << dst
+               << " tseq " << tseq << " lost after " << entry.attempt
+               << " attempts");
+    }
+  } else {
+    Event ev;
+    ev.time = receipt.arrival;
+    ev.src = src;
+    ev.dst = dst;
+    ev.payload = entry.payload;  // keep the original for retransmission
+    ev.tseq = tseq;
+    push_event(std::move(ev));
+    if (receipt.duplicated) {
+      Event dup;
+      dup.time = receipt.duplicate_arrival;
+      dup.src = src;
+      dup.dst = dst;
+      dup.payload = entry.payload;
+      dup.tseq = tseq;
+      push_event(std::move(dup));
+    }
+  }
+  if (final_attempt) {
+    // Exempt tail: delivery is guaranteed, drop the retransmission state
+    // (a late ack for an earlier try is ignored harmlessly). Without the
+    // tail a delivered final try just stops retrying; the entry stays until
+    // its ack arrives, or inertly forever if that ack is lost.
+    if (exempt) unacked_[channel].erase(tseq);
+  } else {
+    Event timer;
+    timer.kind = EventKind::kTimer;
+    timer.time = fabric_.now(src) +
+                 F.rto_seconds * std::pow(F.rto_backoff, entry.attempt - 1);
+    timer.src = dst;  // peer the pending message targets
+    timer.dst = src;  // rank whose timer fires
+    timer.tseq = tseq;
+    push_event(std::move(timer));
+  }
+}
+
+void EventEngine::send_ack(Rank from, Rank to, std::uint64_t tseq) {
+  // Acks ride the same lossy fabric (a lost ack is what makes duplicate
+  // suppression necessary) but are never themselves retried.
+  const auto receipt = fabric_.post_send(from, to, kAckPayloadBytes, 0);
+  if (receipt.dropped) return;
+  Event ev;
+  ev.kind = EventKind::kAck;
+  ev.time = receipt.arrival;
+  ev.src = from;
+  ev.dst = to;
+  ev.tseq = tseq;
+  push_event(std::move(ev));
+  if (receipt.duplicated) {
+    Event dup = ev;
+    dup.time = receipt.duplicate_arrival;
+    dup.payload.clear();
+    push_event(std::move(dup));
+  }
+}
+
+void EventEngine::dispatch(Event ev) {
+  switch (ev.kind) {
+    case EventKind::kData: {
+      fabric_.advance_to(ev.dst, ev.time);
+      if (transport_) {
+        const std::uint64_t channel = channel_key(ev.src, ev.dst);
+        const bool fresh = delivered_[channel].insert(ev.tseq).second;
+        // Always (re-)ack: the sender may be retrying because an earlier
+        // ack was lost.
+        send_ack(ev.dst, ev.src, ev.tseq);
+        if (!fresh) {
+          fabric_.note_dup_suppressed(ev.dst);
+          return;
+        }
+      }
+      EventContext ctx(*this, ev.dst);
+      processes_[static_cast<std::size_t>(ev.dst)]->handle(ctx, ev.src,
+                                                           ev.payload);
+      return;
+    }
+    case EventKind::kAck: {
+      fabric_.advance_to(ev.dst, ev.time);
+      auto chan = unacked_.find(channel_key(ev.dst, ev.src));
+      if (chan != unacked_.end()) chan->second.erase(ev.tseq);
+      return;
+    }
+    case EventKind::kTimer: {
+      const Rank sender = ev.dst;
+      const Rank peer = ev.src;
+      auto chan = unacked_.find(channel_key(sender, peer));
+      if (chan == unacked_.end()) return;
+      auto it = chan->second.find(ev.tseq);
+      if (it == chan->second.end()) return;  // acked meanwhile: timer no-ops
+      // Still unacknowledged: the rank sat out the timeout, then retries.
+      const double waited = ev.time - fabric_.now(sender);
+      if (waited > 0.0) fabric_.note_backoff(sender, waited);
+      fabric_.advance_to(sender, ev.time);
+      fabric_.note_retry(sender, peer, it->second.attempt + 1);
+      transmit(sender, peer, ev.tseq);
+      return;
+    }
+  }
 }
 
 RunResult EventEngine::run() {
@@ -74,10 +219,7 @@ RunResult EventEngine::run() {
       // element is popped immediately after.
       Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
-      fabric_.advance_to(ev.dst, ev.time);
-      EventContext ctx(*this, ev.dst);
-      processes_[static_cast<std::size_t>(ev.dst)]->handle(ctx, ev.src,
-                                                           ev.payload);
+      dispatch(std::move(ev));
     }
     bool all_done = true;
     for (const auto& p : processes_) {

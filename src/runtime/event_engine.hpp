@@ -31,6 +31,8 @@
 #include <queue>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "runtime/comm_stats.hpp"
@@ -96,6 +98,17 @@ class Process {
 /// Discrete-event scheduler over a set of rank Processes.
 class EventEngine {
  public:
+  /// Full-configuration constructor. When config.fault is enabled the
+  /// engine layers a reliable transport over the lossy fabric: every data
+  /// message carries a per-channel transport sequence number (plus a small
+  /// modelled header), the receiver acknowledges and suppresses duplicate
+  /// sequence numbers, and the sender retransmits unacknowledged messages
+  /// on an exponential-backoff timer up to fault.max_attempts tries (the
+  /// final try escalating to a fault-exempt path when fault.reliable_tail).
+  /// With faults disabled the transport is absent and behavior is
+  /// bit-identical to the pre-fault engine.
+  EventEngine(MachineModel model, FabricConfig config);
+
   /// `jitter_seconds` > 0 adds a deterministic pseudo-random delay in
   /// [0, jitter_seconds) to each message arrival (per-message, derived from
   /// `jitter_seed`), exercising alternative delivery interleavings.
@@ -127,12 +140,18 @@ class EventEngine {
  private:
   friend class EventContext;
 
+  /// Event kinds. kData is an algorithm message; kAck and kTimer exist only
+  /// when the reliable transport is active (faults enabled).
+  enum class EventKind : std::uint8_t { kData, kAck, kTimer };
+
   struct Event {
     double time = 0.0;
-    std::uint64_t seq = 0;
+    std::uint64_t seq = 0;  ///< Engine-local push order (tie-breaker).
     Rank src = kNoRank;
     Rank dst = kNoRank;
     std::vector<std::byte> payload;
+    EventKind kind = EventKind::kData;
+    std::uint64_t tseq = 0;  ///< Transport sequence on the (src,dst) channel.
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -141,14 +160,43 @@ class EventEngine {
     }
   };
 
+  /// An unacknowledged data message kept for retransmission.
+  struct Pending {
+    std::vector<std::byte> payload;
+    std::int64_t records = 0;
+    int attempt = 0;  ///< Tries made so far.
+  };
+
+  static std::uint64_t channel_key(Rank src, Rank dst) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
   void enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
                std::int64_t records);
+  void push_event(Event ev);
+  /// Sends (or re-sends) unacked_[channel(src,dst)][tseq]; schedules the
+  /// next retry timer unless this was the final attempt.
+  void transmit(Rank src, Rank dst, std::uint64_t tseq);
+  void send_ack(Rank from, Rank to, std::uint64_t tseq);
+  void dispatch(Event ev);
 
   CommFabric fabric_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t events_posted_ = 0;
+  std::uint64_t order_seq_ = 0;
   bool ran_ = false;
+
+  /// Reliable transport state (empty unless faults are enabled).
+  bool transport_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> next_tseq_;
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, Pending>>
+      unacked_;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+      delivered_;
 };
 
 }  // namespace pmc

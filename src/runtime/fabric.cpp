@@ -7,11 +7,64 @@
 
 namespace pmc {
 
+namespace {
+
+/// Uniform double in [0, 1) from a 64-bit hash (same construction as the
+/// jitter draw: top 53 bits scaled by 2^-53).
+double unit_from(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Salts separating the per-message fault sub-streams. One base hash per
+// message (from the fault seed and the global send sequence) is re-mixed
+// with a distinct salt per decision, so e.g. raising drop_rate does not
+// reshuffle which messages get duplicated.
+constexpr std::uint64_t kDelaySalt = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kDelayAmountSalt = 0xBF58476D1CE4E5B9ULL;
+constexpr std::uint64_t kDropSalt = 0x94D049BB133111EBULL;
+constexpr std::uint64_t kDupSalt = 0xD6E8FEB86659FD93ULL;
+constexpr std::uint64_t kDupDelaySalt = 0xA5CB3D9FB523AE64ULL;
+
+}  // namespace
+
 CommFabric::CommFabric(MachineModel model, Config config)
     : model_(std::move(model)),
       config_(std::move(config)),
       trace_(config_.trace) {
   PMC_REQUIRE(config_.jitter_seconds >= 0.0, "negative jitter");
+  const FaultConfig& F = config_.fault;
+  PMC_REQUIRE(F.drop_rate >= 0.0 && F.drop_rate <= 1.0,
+              "drop_rate outside [0,1]: " << F.drop_rate);
+  PMC_REQUIRE(F.duplicate_rate >= 0.0 && F.duplicate_rate <= 1.0,
+              "duplicate_rate outside [0,1]: " << F.duplicate_rate);
+  PMC_REQUIRE(F.delay_rate >= 0.0 && F.delay_rate <= 1.0,
+              "delay_rate outside [0,1]: " << F.delay_rate);
+  PMC_REQUIRE(F.max_extra_delay_seconds >= 0.0, "negative fault delay bound");
+  PMC_REQUIRE(F.delay_rate == 0.0 || F.max_extra_delay_seconds > 0.0,
+              "delay_rate > 0 needs max_extra_delay_seconds > 0");
+  PMC_REQUIRE(F.rto_seconds > 0.0, "non-positive rto_seconds");
+  PMC_REQUIRE(F.rto_backoff >= 1.0, "rto_backoff must be >= 1");
+  PMC_REQUIRE(F.max_attempts >= 1, "max_attempts must be >= 1");
+  for (const StallWindow& w : F.stalls) {
+    PMC_REQUIRE(w.start >= 0.0 && w.duration >= 0.0,
+                "stall window with negative start or duration");
+  }
+}
+
+double CommFabric::stall_clear(Rank r, double t) const {
+  // Windows are few and may chain or overlap; iterate to a fixed point.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const StallWindow& w : config_.fault.stalls) {
+      if (w.rank != r) continue;
+      if (t >= w.start && t < w.start + w.duration) {
+        t = w.start + w.duration;
+        moved = true;
+      }
+    }
+  }
+  return t;
 }
 
 Rank CommFabric::add_rank() {
@@ -47,9 +100,18 @@ void CommFabric::charge(Rank r, double work_units, WorkPhase phase) {
 
 CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
                                               std::size_t payload_bytes,
-                                              std::int64_t records) {
+                                              std::int64_t records,
+                                              bool fault_exempt) {
   PMC_REQUIRE(dst >= 0 && dst < num_ranks(), "send to invalid rank " << dst);
   PMC_REQUIRE(dst != src, "send to self (rank " << src << ")");
+  const FaultConfig& F = config_.fault;
+  const bool faulty = F.enabled() && !fault_exempt;
+  if (faulty) {
+    // A stalled sender cannot inject into the network until the window
+    // clears (stalls also cover the exempt path: the rank itself is down,
+    // not just the lossy link).
+    advance_to(src, stall_clear(src, clocks_[static_cast<std::size_t>(src)]));
+  }
   // Sender pays the per-message software overhead (LogP "o") before the
   // message enters the network — the cost message bundling amortizes.
   clocks_[static_cast<std::size_t>(src)] += model_.send_overhead;
@@ -62,15 +124,48 @@ CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
     arrival += config_.jitter_seconds * static_cast<double>(h >> 11) *
                0x1.0p-53;
   }
+
+  SendReceipt receipt;
+  if (faulty) {
+    // All verdicts come from one base hash per message, salted per decision
+    // (see kDropSalt et al.) — deterministic in (fault seed, send_seq_).
+    const std::uint64_t base = splitmix64(F.seed ^ splitmix64(send_seq_));
+    if (F.delay_rate > 0.0 &&
+        unit_from(splitmix64(base ^ kDelaySalt)) < F.delay_rate) {
+      arrival += F.max_extra_delay_seconds *
+                 unit_from(splitmix64(base ^ kDelayAmountSalt));
+    }
+    receipt.dropped = F.drop_rate > 0.0 &&
+                      unit_from(splitmix64(base ^ kDropSalt)) < F.drop_rate;
+    if (!receipt.dropped && F.duplicate_rate > 0.0 &&
+        unit_from(splitmix64(base ^ kDupSalt)) < F.duplicate_rate) {
+      receipt.duplicated = true;
+      receipt.duplicate_arrival =
+          arrival + F.max_extra_delay_seconds *
+                        unit_from(splitmix64(base ^ kDupDelaySalt));
+    }
+    // A stalled receiver cannot accept deliveries until its window clears.
+    arrival = stall_clear(dst, arrival);
+  }
+
   // FIFO per channel: a message may not overtake an earlier one on the same
-  // (src, dst) pair (MPI non-overtaking rule).
-  const std::uint64_t channel =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-      static_cast<std::uint32_t>(dst);
-  auto [it, inserted] = channel_last_arrival_.try_emplace(channel, arrival);
-  if (!inserted) {
-    arrival = std::max(arrival, it->second);
-    it->second = arrival;
+  // (src, dst) pair (MPI non-overtaking rule). Dropped messages never arrive
+  // and so never constrain the channel; duplicate copies are a network
+  // artifact outside the FIFO guarantee (they may overtake later sends) but
+  // never precede their own original.
+  if (!receipt.dropped) {
+    const std::uint64_t channel =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+        static_cast<std::uint32_t>(dst);
+    auto [it, inserted] = channel_last_arrival_.try_emplace(channel, arrival);
+    if (!inserted) {
+      arrival = std::max(arrival, it->second);
+      it->second = arrival;
+    }
+    if (receipt.duplicated) {
+      receipt.duplicate_arrival =
+          stall_clear(dst, std::max(receipt.duplicate_arrival, arrival));
+    }
   }
 
   const auto total_bytes = static_cast<std::int64_t>(payload_bytes) +
@@ -79,8 +174,12 @@ CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
   comm_.bytes += total_bytes;
   comm_.records += records;
   trace_.on_send(send_time, src, dst, total_bytes, records);
+  if (receipt.dropped) trace_.on_drop(send_time, src, dst, total_bytes);
+  if (receipt.duplicated) trace_.on_duplicate(send_time, src, dst, total_bytes);
 
-  return SendReceipt{arrival, send_seq_++};
+  receipt.arrival = arrival;
+  receipt.seq = send_seq_++;
+  return receipt;
 }
 
 void CommFabric::complete_collective(double horizon) {

@@ -43,12 +43,54 @@ enum class SendPolicy {
   kCustomizedNeighbors,  ///< NEW: customized messages, touched ranks only.
 };
 
+/// One interval during which a rank's network is unavailable: messages it
+/// would inject, and messages that would arrive at it, wait for the window
+/// to close (a transient node stall, not a crash — no state is lost).
+struct StallWindow {
+  Rank rank = 0;
+  double start = 0.0;
+  double duration = 0.0;
+};
+
+/// Deterministic fault-injection knobs. Every per-message verdict is a pure
+/// function of (seed, global send sequence number), so a fixed seed gives a
+/// bit-identical fault schedule; with all rates zero and no stall windows the
+/// layer is inert and the fabric behaves exactly as without it.
+struct FaultConfig {
+  double drop_rate = 0.0;       ///< P(message silently lost).
+  double duplicate_rate = 0.0;  ///< P(second copy delivered); never on drops.
+  double delay_rate = 0.0;      ///< P(extra delay added to arrival).
+  /// Upper bound on the injected extra delay (and on the duplicate copy's
+  /// lag behind the original).
+  double max_extra_delay_seconds = 0.0;
+  std::uint64_t seed = 0;  ///< Verdict stream seed (independent of jitter).
+  /// Per-rank network-unavailability intervals.
+  std::vector<StallWindow> stalls;
+
+  // Recovery protocol (used by the engines' reliable transport, not by the
+  // fabric itself). Defaults sized for blue_gene_p-scale latencies: the
+  // first timeout fires at ~7x the one-way latency.
+  double rto_seconds = 25e-6;  ///< Initial retransmission timeout.
+  double rto_backoff = 2.0;    ///< Timeout multiplier per failed attempt.
+  int max_attempts = 12;       ///< Total tries per message (1 = no retry).
+  /// When true, the final attempt bypasses fault injection (the model for
+  /// "escalate to a reliable path"), guaranteeing termination. When false,
+  /// exhausting the budget on a lost message is a hard error.
+  bool reliable_tail = true;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
+           !stalls.empty();
+  }
+};
+
 /// Construction options for a CommFabric.
 struct FabricConfig {
   /// > 0 adds a deterministic pseudo-random delay in [0, jitter_seconds)
   /// to each message arrival (per-message, derived from jitter_seed).
   double jitter_seconds = 0.0;
   std::uint64_t jitter_seed = 0;
+  FaultConfig fault;
   TraceConfig trace;
 };
 
@@ -61,6 +103,9 @@ class CommFabric {
   struct SendReceipt {
     double arrival = 0.0;    ///< Modelled arrival time (FIFO-adjusted).
     std::uint64_t seq = 0;   ///< Global send sequence number (tie-breaker).
+    bool dropped = false;    ///< Fault layer lost the message (no delivery).
+    bool duplicated = false; ///< A second copy arrives at duplicate_arrival.
+    double duplicate_arrival = 0.0;
   };
 
   explicit CommFabric(MachineModel model, Config config = {});
@@ -97,8 +142,14 @@ class CommFabric {
   /// deterministic jitter), enforces FIFO non-overtaking on the (src, dst)
   /// channel, and accounts the message in CommStats and the trace. The
   /// engine schedules delivery at the returned arrival time.
+  ///
+  /// When fault injection is configured (config().fault.enabled()) the
+  /// receipt may additionally report the message dropped or duplicated, and
+  /// arrivals are deferred past any stall window covering src (injection)
+  /// or dst (delivery). `fault_exempt` sends (acks' escalation path, the
+  /// reliable tail) bypass the verdicts but still consume a sequence number.
   SendReceipt post_send(Rank src, Rank dst, std::size_t payload_bytes,
-                        std::int64_t records);
+                        std::int64_t records, bool fault_exempt = false);
 
   // ---- collectives ---------------------------------------------------------
 
@@ -114,6 +165,24 @@ class CommFabric {
   void set_phase(Rank r, WorkPhase phase) noexcept {
     trace_.set_phase(r, phase);
   }
+
+  /// Recovery-protocol accounting hooks for the engines' reliable transport
+  /// (the fabric injects faults; the engines recover and report here).
+  void note_retry(Rank src, Rank dst, int attempt) {
+    trace_.on_retry(now(src), src, dst, attempt);
+  }
+  void note_backoff(Rank src, double seconds) {
+    trace_.on_backoff(src, seconds);
+  }
+  void note_dup_suppressed(Rank dst) {
+    trace_.on_dup_suppressed(now(dst), dst);
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Earliest time >= t at which rank r's network is outside every stall
+  /// window (identity when no window covers t).
+  [[nodiscard]] double stall_clear(Rank r, double t) const;
 
   // ---- results -------------------------------------------------------------
 

@@ -23,6 +23,7 @@ CommTrace& CommTrace::operator=(CommTrace&&) noexcept = default;
 
 void CommTrace::add_rank() {
   breakdown_.per_rank.emplace_back();
+  breakdown_.per_rank_faults.emplace_back();
   breakdown_.interior_seconds.push_back(0.0);
   breakdown_.boundary_seconds.push_back(0.0);
   breakdown_.other_seconds.push_back(0.0);
@@ -106,6 +107,71 @@ void CommTrace::on_send(double time, Rank src, Rank dst,
         << R"(,"records":)" << records << R"(,"round":)" << round << '}';
     emit_json(oss.str());
   }
+}
+
+FaultStats& CommTrace::fault_round_slot(int round) {
+  const auto idx = static_cast<std::size_t>(round);
+  if (idx >= breakdown_.per_round_faults.size()) {
+    breakdown_.per_round_faults.resize(idx + 1);
+  }
+  return breakdown_.per_round_faults[idx];
+}
+
+FaultStats& CommTrace::fault_rank_slot(Rank r) {
+  return breakdown_.per_rank_faults[static_cast<std::size_t>(r)];
+}
+
+void CommTrace::on_drop(double time, Rank src, Rank dst,
+                        std::int64_t total_bytes) {
+  fault_rank_slot(src).drops += 1;
+  fault_round_slot(rank_round_[static_cast<std::size_t>(src)]).drops += 1;
+  if (sink_) {
+    std::ostringstream oss;
+    oss << R"({"ev":"drop","t":)" << time << R"(,"src":)" << src
+        << R"(,"dst":)" << dst << R"(,"bytes":)" << total_bytes << '}';
+    emit_json(oss.str());
+  }
+}
+
+void CommTrace::on_duplicate(double time, Rank src, Rank dst,
+                             std::int64_t total_bytes) {
+  fault_rank_slot(src).duplicates += 1;
+  fault_round_slot(rank_round_[static_cast<std::size_t>(src)]).duplicates += 1;
+  if (sink_) {
+    std::ostringstream oss;
+    oss << R"({"ev":"dup","t":)" << time << R"(,"src":)" << src
+        << R"(,"dst":)" << dst << R"(,"bytes":)" << total_bytes << '}';
+    emit_json(oss.str());
+  }
+}
+
+void CommTrace::on_dup_suppressed(double time, Rank dst) {
+  fault_rank_slot(dst).dup_suppressed += 1;
+  fault_round_slot(rank_round_[static_cast<std::size_t>(dst)]).dup_suppressed +=
+      1;
+  if (sink_) {
+    std::ostringstream oss;
+    oss << R"({"ev":"dup_suppressed","t":)" << time << R"(,"rank":)" << dst
+        << '}';
+    emit_json(oss.str());
+  }
+}
+
+void CommTrace::on_retry(double time, Rank src, Rank dst, int attempt) {
+  fault_rank_slot(src).retries += 1;
+  fault_round_slot(rank_round_[static_cast<std::size_t>(src)]).retries += 1;
+  if (sink_) {
+    std::ostringstream oss;
+    oss << R"({"ev":"retry","t":)" << time << R"(,"src":)" << src
+        << R"(,"dst":)" << dst << R"(,"attempt":)" << attempt << '}';
+    emit_json(oss.str());
+  }
+}
+
+void CommTrace::on_backoff(Rank src, double seconds) {
+  fault_rank_slot(src).backoff_seconds += seconds;
+  fault_round_slot(rank_round_[static_cast<std::size_t>(src)])
+      .backoff_seconds += seconds;
 }
 
 void CommTrace::on_collective(double time) {

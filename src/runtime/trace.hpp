@@ -76,12 +76,23 @@ class CommTrace {
   /// One barrier / allreduce completing at `time`.
   void on_collective(double time);
 
+  /// Fault-layer events; attribution follows FaultStats' documented charging
+  /// (drop/duplicate to the sender, suppression to the receiver, retry and
+  /// backoff to the retransmitting rank) at that rank's current round label.
+  void on_drop(double time, Rank src, Rank dst, std::int64_t total_bytes);
+  void on_duplicate(double time, Rank src, Rank dst, std::int64_t total_bytes);
+  void on_dup_suppressed(double time, Rank dst);
+  void on_retry(double time, Rank src, Rank dst, int attempt);
+  void on_backoff(Rank src, double seconds);
+
   [[nodiscard]] const CommBreakdown& breakdown() const noexcept {
     return breakdown_;
   }
 
  private:
   CommStats& round_slot(int round);
+  FaultStats& fault_round_slot(int round);
+  FaultStats& fault_rank_slot(Rank r);
   void emit_json(const std::string& line);
 
   TraceConfig config_;

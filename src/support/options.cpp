@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <sstream>
+#include <string_view>
 
 #include "support/error.hpp"
 
@@ -57,25 +58,42 @@ const std::string& Options::get(const std::string& name) const {
   return vit != values_.end() ? vit->second : it->second.default_value;
 }
 
+namespace {
+
+/// std::from_chars rejects an explicit leading '+' that the strtol-family
+/// parsers accepted; keep accepting it for both numeric getters.
+std::string_view strip_plus(std::string_view s) noexcept {
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  return s;
+}
+
+}  // namespace
+
 std::int64_t Options::get_int(const std::string& name) const {
   const std::string& s = get(name);
+  const std::string_view sv = strip_plus(s);
   std::int64_t out = 0;
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  PMC_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+  const auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), out);
+  PMC_REQUIRE(ec != std::errc::result_out_of_range,
+              "option --" << name << " is out of range: '" << s << "'");
+  PMC_REQUIRE(ec == std::errc{} && ptr == sv.data() + sv.size(),
               "option --" << name << " expects an integer, got '" << s << "'");
   return out;
 }
 
 double Options::get_double(const std::string& name) const {
   const std::string& s = get(name);
-  try {
-    std::size_t pos = 0;
-    const double out = std::stod(s, &pos);
-    PMC_REQUIRE(pos == s.size(), "trailing junk in --" << name);
-    return out;
-  } catch (const std::logic_error&) {
-    PMC_FAIL("option --" << name << " expects a number, got '" << s << "'");
-  }
+  const std::string_view sv = strip_plus(s);
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), out);
+  // Distinguish magnitude problems ("1e999") from junk ("1.5x", "", "nope"):
+  // the old std::stod path caught both as std::logic_error and misreported
+  // overflow as "expects a number".
+  PMC_REQUIRE(ec != std::errc::result_out_of_range,
+              "option --" << name << " is out of range: '" << s << "'");
+  PMC_REQUIRE(ec == std::errc{} && ptr == sv.data() + sv.size(),
+              "option --" << name << " expects a number, got '" << s << "'");
+  return out;
 }
 
 bool Options::get_flag(const std::string& name) const {

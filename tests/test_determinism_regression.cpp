@@ -83,6 +83,89 @@ TEST(DeterminismRegression, DistributedColoringScenarios) {
                 {0.0001443111999999999, 119, 8884, 423, 6, 3});
 }
 
+// Fault-injection scenarios. The fault layer is deterministic in
+// (fault seed, send sequence), so faulty runs pin exactly like clean ones —
+// including the recovery traffic (retries, backoff, re-entries).
+struct PinnedFaults {
+  std::int64_t drops;
+  std::int64_t duplicates;
+  std::int64_t retries;
+  double backoff_seconds;
+};
+
+void expect_pinned_faults(const RunResult& run, const PinnedFaults& pin) {
+  const FaultStats f = run.breakdown.total_faults();
+  EXPECT_EQ(f.drops, pin.drops);
+  EXPECT_EQ(f.duplicates, pin.duplicates);
+  EXPECT_EQ(f.retries, pin.retries);
+  EXPECT_EQ(f.backoff_seconds, pin.backoff_seconds);
+}
+
+TEST(DeterminismRegression, FaultInjectedMatchingScenarios) {
+  const Graph g = grid_2d(48, 48, WeightKind::kUniformRandom, 61);
+  Rank pr = 0, pc = 0;
+  factor_processor_grid(8, pr, pc);
+  const Partition p = grid_2d_partition(48, 48, pr, pc);
+  const DistGraph dist = DistGraph::build(g, p);
+
+  DistMatchingOptions faulty;
+  faulty.faults.drop_rate = 0.05;
+  faulty.faults.duplicate_rate = 0.02;
+  faulty.faults.seed = 14;
+  const auto rf = match_distributed(dist, faulty);
+  expect_pinned(rf.run, rf.max_activations,
+                {9.2329800000002539e-05, 88, 10604, 396, 0, 8});
+  expect_pinned_faults(rf.run, {2, 1, 2, 2.0860999999994988e-06});
+
+  // Jitter and injected delay compose with drops/duplicates; the combined
+  // schedule still pins.
+  DistMatchingOptions both = faulty;
+  both.jitter_seconds = 2e-6;
+  both.jitter_seed = 7;
+  both.faults.delay_rate = 0.25;
+  both.faults.max_extra_delay_seconds = 1e-5;
+  const auto rj = match_distributed(dist, both);
+  expect_pinned(rj.run, rj.max_activations,
+                {0.00010574466377628834, 85, 10064, 372, 0, 8});
+  expect_pinned_faults(rj.run, {2, 1, 2, 7.6058757731121713e-06});
+
+  // Faults never change the matching itself: the transport recovers every
+  // lost record and the locally-dominant matching is unique.
+  const auto clean = match_distributed(dist, DistMatchingOptions{});
+  EXPECT_EQ(rf.matching.mate, clean.matching.mate);
+  EXPECT_EQ(rj.matching.mate, clean.matching.mate);
+}
+
+TEST(DeterminismRegression, FaultInjectedColoringScenario) {
+  const Graph g = circuit_like(2000, 4000, 6, WeightKind::kUnit, 62);
+  const Partition p =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(3));
+  const DistGraph dist = DistGraph::build(g, p);
+
+  auto opt = DistColoringOptions::improved();
+  opt.faults.drop_rate = 0.05;
+  opt.faults.duplicate_rate = 0.02;
+  opt.faults.seed = 14;
+  const auto r = color_distributed(dist, opt);
+  expect_pinned(r.run, r.rounds,
+                {0.00013277879999999993, 89, 8008, 430, 6, 3});
+  expect_pinned_faults(r.run, {2, 1, 0, 0.0});
+  EXPECT_EQ(r.fault_reentries, 7);
+}
+
+TEST(DeterminismRegression, FaultInjectedDistance2Scenario) {
+  const Graph g = grid_2d(20, 20, WeightKind::kUnit, 63);
+  const Partition p = grid_2d_partition(20, 20, 2, 2);
+  DistColoringOptions opt;
+  opt.faults.drop_rate = 0.20;
+  opt.faults.duplicate_rate = 0.10;
+  opt.faults.seed = 15;
+  const auto r = color_distance2_distributed_native(g, p, opt);
+  expect_pinned(r.run, r.rounds,
+                {0.0001647219999999995, 34, 4400, 276, 8, 4});
+  expect_pinned_faults(r.run, {5, 1, 0, 0.0});
+}
+
 TEST(DeterminismRegression, Distance2ColoringScenario) {
   const Graph g = grid_2d(20, 20, WeightKind::kUnit, 63);
   const Partition p = grid_2d_partition(20, 20, 2, 2);

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <string>
@@ -137,6 +138,184 @@ TEST(CommBreakdown, SizeBucketsArePowersOfTwo) {
   EXPECT_EQ(CommBreakdown::size_bucket(1024), 10u);
   EXPECT_EQ(CommBreakdown::size_bucket(std::int64_t{1} << 40),
             kMessageSizeBuckets - 1);
+}
+
+TEST(CommBreakdown, SizeBucketEdgeCases) {
+  // Degenerate inputs clamp into the first bucket instead of indexing with
+  // bit_width of a sign-extended cast.
+  EXPECT_EQ(CommBreakdown::size_bucket(-1), 0u);
+  EXPECT_EQ(CommBreakdown::size_bucket(std::numeric_limits<std::int64_t>::min()),
+            0u);
+  // Boundary of the last regular bucket vs the overflow bucket.
+  EXPECT_EQ(CommBreakdown::size_bucket((std::int64_t{1} << 23) - 1),
+            kMessageSizeBuckets - 2);
+  EXPECT_EQ(CommBreakdown::size_bucket(std::int64_t{1} << 23),
+            kMessageSizeBuckets - 1);
+  EXPECT_EQ(CommBreakdown::size_bucket((std::int64_t{1} << 23) + 1),
+            kMessageSizeBuckets - 1);
+  EXPECT_EQ(CommBreakdown::size_bucket(std::numeric_limits<std::int64_t>::max()),
+            kMessageSizeBuckets - 1);
+}
+
+// ---- fault injection --------------------------------------------------------
+
+FabricConfig fault_config(double drop, double dup, double delay = 0.0,
+                          std::uint64_t seed = 1) {
+  FabricConfig config;
+  config.fault.drop_rate = drop;
+  config.fault.duplicate_rate = dup;
+  config.fault.delay_rate = delay;
+  if (delay > 0.0) config.fault.max_extra_delay_seconds = 1e-5;
+  config.fault.seed = seed;
+  return config;
+}
+
+TEST(FaultInjection, DisabledConfigIsInert) {
+  EXPECT_FALSE(FaultConfig{}.enabled());
+  CommFabric plain(MachineModel::blue_gene_p());
+  CommFabric with_cfg(MachineModel::blue_gene_p(), FabricConfig{});
+  plain.add_rank();
+  plain.add_rank();
+  with_cfg.add_rank();
+  with_cfg.add_rank();
+  const auto a = plain.post_send(0, 1, 64, 1);
+  const auto b = with_cfg.post_send(0, 1, 64, 1);
+  EXPECT_EQ(a.arrival, b.arrival);
+  EXPECT_FALSE(b.dropped);
+  EXPECT_FALSE(b.duplicated);
+  EXPECT_FALSE(with_cfg.breakdown().total_faults().any());
+}
+
+TEST(FaultInjection, RejectsInvalidRates) {
+  EXPECT_THROW(CommFabric(MachineModel::zero_cost(),
+                          fault_config(1.5, 0.0)),
+               Error);
+  EXPECT_THROW(CommFabric(MachineModel::zero_cost(),
+                          fault_config(0.0, -0.1)),
+               Error);
+  FabricConfig bad_delay;
+  bad_delay.fault.delay_rate = 0.5;  // no max_extra_delay_seconds
+  EXPECT_THROW(CommFabric(MachineModel::zero_cost(), bad_delay), Error);
+  FabricConfig bad_attempts = fault_config(0.1, 0.0);
+  bad_attempts.fault.max_attempts = 0;
+  EXPECT_THROW(CommFabric(MachineModel::zero_cost(), bad_attempts), Error);
+}
+
+TEST(FaultInjection, CertainDropLosesEveryMessageAndCountsIt) {
+  CommFabric fabric(MachineModel::blue_gene_p(), fault_config(1.0, 0.0));
+  fabric.add_rank();
+  fabric.add_rank();
+  for (int i = 0; i < 10; ++i) {
+    const auto receipt = fabric.post_send(0, 1, 32, 1);
+    EXPECT_TRUE(receipt.dropped);
+    EXPECT_FALSE(receipt.duplicated);  // dropped messages never duplicate
+  }
+  // Sends are still accounted (the sender did send); drops are charged to
+  // the sending rank.
+  EXPECT_EQ(fabric.comm().messages, 10);
+  const FaultStats total = fabric.breakdown().total_faults();
+  EXPECT_EQ(total.drops, 10);
+  EXPECT_EQ(total.duplicates, 0);
+  ASSERT_EQ(fabric.breakdown().per_rank_faults.size(), 2u);
+  EXPECT_EQ(fabric.breakdown().per_rank_faults[0].drops, 10);
+  EXPECT_EQ(fabric.breakdown().per_rank_faults[1].drops, 0);
+}
+
+TEST(FaultInjection, CertainDuplicationDeliversASecondCopyNoEarlier) {
+  CommFabric fabric(MachineModel::blue_gene_p(), fault_config(0.0, 1.0));
+  fabric.add_rank();
+  fabric.add_rank();
+  for (int i = 0; i < 10; ++i) {
+    const auto receipt = fabric.post_send(0, 1, 32, 1);
+    EXPECT_FALSE(receipt.dropped);
+    EXPECT_TRUE(receipt.duplicated);
+    EXPECT_GE(receipt.duplicate_arrival, receipt.arrival);
+  }
+  EXPECT_EQ(fabric.breakdown().total_faults().duplicates, 10);
+}
+
+TEST(FaultInjection, InjectedDelayOnlyDefersArrival) {
+  const MachineModel m = MachineModel::blue_gene_p();
+  CommFabric fabric(m, fault_config(0.0, 0.0, 1.0));
+  fabric.add_rank();
+  fabric.add_rank();
+  const auto receipt = fabric.post_send(0, 1, 64, 1);
+  const double undelayed = m.send_overhead + m.message_seconds(64.0);
+  EXPECT_FALSE(receipt.dropped);
+  EXPECT_GE(receipt.arrival, undelayed);
+  EXPECT_LE(receipt.arrival, undelayed + 1e-5);
+}
+
+TEST(FaultInjection, VerdictsAreDeterministicInTheSeed) {
+  auto verdicts = [](std::uint64_t seed) {
+    CommFabric fabric(MachineModel::blue_gene_p(),
+                      fault_config(0.3, 0.2, 0.0, seed));
+    fabric.add_rank();
+    fabric.add_rank();
+    std::vector<int> out;
+    for (int i = 0; i < 64; ++i) {
+      const auto receipt = fabric.post_send(0, 1, 32, 1);
+      out.push_back(receipt.dropped ? 2 : (receipt.duplicated ? 1 : 0));
+    }
+    return out;
+  };
+  EXPECT_EQ(verdicts(7), verdicts(7));
+  EXPECT_NE(verdicts(7), verdicts(8));
+  // Rates in (0,1) produce a mix, not all-or-nothing.
+  const auto v = verdicts(7);
+  EXPECT_NE(std::count(v.begin(), v.end(), 0), 0);
+  EXPECT_NE(std::count(v.begin(), v.end(), 2), 0);
+}
+
+TEST(FaultInjection, StallWindowDefersInjectionAndDelivery) {
+  const MachineModel m = MachineModel::blue_gene_p();
+  FabricConfig config;
+  config.fault.stalls.push_back(StallWindow{0, 0.0, 1e-3});
+  CommFabric fabric(m, config);
+  fabric.add_rank();
+  fabric.add_rank();
+  EXPECT_TRUE(fabric.config().fault.enabled());
+  // Sender rank 0 is stalled at t=0: its send waits for the window to end.
+  const auto from_stalled = fabric.post_send(0, 1, 8, 1);
+  EXPECT_GE(from_stalled.arrival, 1e-3);
+  EXPECT_GE(fabric.now(0), 1e-3);
+  // A delivery *to* rank 0 inside the window is deferred past it.
+  const auto to_stalled = fabric.post_send(1, 0, 8, 1);
+  EXPECT_GE(to_stalled.arrival, 1e-3);
+  EXPECT_LT(fabric.now(1), 1e-3);  // the unstalled sender is not delayed
+}
+
+TEST(FaultInjection, StallClearHandlesChainedWindows) {
+  FabricConfig config;
+  config.fault.stalls.push_back(StallWindow{0, 0.0, 1.0});
+  config.fault.stalls.push_back(StallWindow{0, 1.0, 1.0});
+  config.fault.stalls.push_back(StallWindow{1, 5.0, 1.0});
+  CommFabric fabric(MachineModel::zero_cost(), config);
+  fabric.add_rank();
+  fabric.add_rank();
+  EXPECT_DOUBLE_EQ(fabric.stall_clear(0, 0.5), 2.0);  // hops both windows
+  EXPECT_DOUBLE_EQ(fabric.stall_clear(0, 2.5), 2.5);
+  EXPECT_DOUBLE_EQ(fabric.stall_clear(1, 0.5), 0.5);  // other rank's window
+  EXPECT_DOUBLE_EQ(fabric.stall_clear(1, 5.5), 6.0);
+}
+
+TEST(FaultInjection, RecoveryHooksChargeTheBreakdown) {
+  CommFabric fabric(MachineModel::blue_gene_p(), fault_config(0.5, 0.0));
+  fabric.add_rank();
+  fabric.add_rank();
+  fabric.note_retry(0, 1, 2);
+  fabric.note_backoff(0, 1e-4);
+  fabric.note_dup_suppressed(1);
+  const CommBreakdown& b = fabric.breakdown();
+  EXPECT_EQ(b.per_rank_faults[0].retries, 1);
+  EXPECT_DOUBLE_EQ(b.per_rank_faults[0].backoff_seconds, 1e-4);
+  EXPECT_EQ(b.per_rank_faults[1].dup_suppressed, 1);
+  const FaultStats total = b.total_faults();
+  EXPECT_TRUE(total.any());
+  EXPECT_EQ(total.retries, 1);
+  // Round attribution mirrors the rank attribution.
+  ASSERT_FALSE(b.per_round_faults.empty());
+  EXPECT_EQ(b.per_round_faults[0].retries, 1);
 }
 
 // ---- Bundler ----------------------------------------------------------------

@@ -2,6 +2,7 @@
 // paper uses (bipartite for matching, adjacency for coloring).
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "graph/algorithms.hpp"
@@ -61,6 +62,43 @@ TEST(MatrixMarket, ParsesPattern) {
   const SparseMatrix m = read_matrix_market(in);
   EXPECT_TRUE(m.pattern);
   EXPECT_TRUE(m.values.empty());
+}
+
+TEST(MatrixMarket, SkipsBlankLinesBeforeSizeLine) {
+  // Regression: the comment-skip loop used to stop at the first non-'%'
+  // line even when it was blank or whitespace-only, then fail with
+  // "malformed size line".
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "\n"
+      "   \t \n"
+      "\r\n"
+      "% late comment after blanks\n"
+      "2 2 1\n"
+      "1 2 3.0\n");
+  const SparseMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.rows, 2);
+  EXPECT_EQ(m.cols, 2);
+  EXPECT_EQ(m.num_entries(), 1);
+  EXPECT_DOUBLE_EQ(m.values[0], 3.0);
+}
+
+TEST(MatrixMarket, SkipsBlankLinesInFile) {
+  const std::string path = ::testing::TempDir() + "/pmc_blank_lines.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern general\n"
+        << "% generated fixture\n"
+        << "\n"
+        << "  \n"
+        << "2 2 2\n"
+        << "1 2\n"
+        << "2 1\n";
+  }
+  const SparseMatrix m = read_matrix_market_file(path);
+  EXPECT_EQ(m.rows, 2);
+  EXPECT_EQ(m.num_entries(), 2);
 }
 
 TEST(MatrixMarket, RejectsMalformedInput) {

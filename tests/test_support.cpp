@@ -2,6 +2,7 @@
 // options.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "support/csv.hpp"
@@ -231,6 +232,63 @@ TEST(Options, RejectsUnknownAndMalformed) {
   const char* bad2[] = {"prog", "--ranks", "not-a-number"};
   (void)opts.parse(3, bad2);
   EXPECT_THROW((void)opts.get_int("ranks"), Error);
+}
+
+// Parses one option named "x" with the given textual value.
+Options opts_with(const char* value) {
+  Options opts;
+  opts.add("x", "0", "numeric option");
+  const char* argv[] = {"prog", "--x", value};
+  (void)opts.parse(3, argv);
+  return opts;
+}
+
+TEST(Options, IntAcceptsSignsAndBounds) {
+  EXPECT_EQ(opts_with("+7").get_int("x"), 7);
+  EXPECT_EQ(opts_with("-42").get_int("x"), -42);
+  EXPECT_EQ(opts_with("9223372036854775807").get_int("x"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Options, IntRejectsTrailingGarbage) {
+  EXPECT_THROW((void)opts_with("12x").get_int("x"), Error);
+  EXPECT_THROW((void)opts_with("1.5").get_int("x"), Error);
+  EXPECT_THROW((void)opts_with("").get_int("x"), Error);
+  EXPECT_THROW((void)opts_with("+").get_int("x"), Error);
+}
+
+TEST(Options, IntReportsOutOfRangeDistinctly) {
+  try {
+    (void)opts_with("99999999999999999999").get_int("x");
+    FAIL() << "expected pmc::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(Options, DoubleAcceptsCommonForms) {
+  EXPECT_DOUBLE_EQ(opts_with("+2.5").get_double("x"), 2.5);
+  EXPECT_DOUBLE_EQ(opts_with("-1e3").get_double("x"), -1000.0);
+  EXPECT_DOUBLE_EQ(opts_with(".5").get_double("x"), 0.5);
+}
+
+TEST(Options, DoubleRejectsTrailingGarbage) {
+  EXPECT_THROW((void)opts_with("1.5x").get_double("x"), Error);
+  EXPECT_THROW((void)opts_with("nope").get_double("x"), Error);
+  EXPECT_THROW((void)opts_with("").get_double("x"), Error);
+  EXPECT_THROW((void)opts_with("+").get_double("x"), Error);
+  EXPECT_THROW((void)opts_with("2.5 ").get_double("x"), Error);
+}
+
+TEST(Options, DoubleReportsOutOfRangeDistinctly) {
+  // std::stod threw std::out_of_range here, which the old catch swallowed
+  // as std::logic_error and misreported as "expects a number".
+  try {
+    (void)opts_with("1e999").get_double("x");
+    FAIL() << "expected pmc::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
 }
 
 TEST(Options, CollectsPositionalArguments) {
