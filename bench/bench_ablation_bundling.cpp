@@ -34,7 +34,7 @@ int run(int argc, const char** argv) {
 
   const Graph g = grid_2d(side, side, WeightKind::kUniformRandom, 61);
   TextTable table({"procs", "variant", "messages", "records", "volume (B)",
-                   "time (s)", "speedup"},
+                   "sim (s)", "speedup"},
                   {Align::kRight, Align::kLeft, Align::kRight, Align::kRight,
                    Align::kRight, Align::kRight, Align::kRight});
   table.set_title("bundled vs unbundled distributed matching");

@@ -39,7 +39,7 @@ int run(int argc, const char** argv) {
 
   const Graph g = circuit_like(n, n * 2, 6, WeightKind::kUnit, 62);
   TextTable table({"procs", "mode", "messages", "volume (B)", "rounds",
-                   "colors", "time (s)"},
+                   "colors", "sim (s)"},
                   {Align::kRight, Align::kLeft, Align::kRight, Align::kRight,
                    Align::kRight, Align::kRight, Align::kRight});
   table.set_title("coloring communication-mode comparison");

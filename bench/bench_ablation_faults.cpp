@@ -60,7 +60,7 @@ int run(int argc, const char** argv) {
   const auto color_base = color_distributed(dc, DistColoringOptions::improved());
 
   TextTable table({"algorithm", "drop", "dup", "drops", "dups", "retries",
-                   "backoff (s)", "reentries", "messages", "time (s)",
+                   "backoff (s)", "reentries", "messages", "sim (s)",
                    "overhead"},
                   {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
                    Align::kRight, Align::kRight, Align::kRight, Align::kRight,

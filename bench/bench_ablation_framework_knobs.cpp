@@ -53,7 +53,7 @@ int run(int argc, const char** argv) {
   const DistGraph dist = DistGraph::build(g, p);
 
   TextTable table({"order", "strategy", "mode", "colors", "rounds",
-                   "conflicts", "time (s)"},
+                   "conflicts", "sim (s)"},
                   {Align::kLeft, Align::kLeft, Align::kLeft, Align::kRight,
                    Align::kRight, Align::kRight, Align::kRight});
   table.set_title("framework knob sweep at " + std::to_string(ranks) +

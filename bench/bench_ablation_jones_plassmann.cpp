@@ -37,7 +37,7 @@ int run(int argc, const char** argv) {
                                       WeightKind::kUnit, 64)});
 
   TextTable table({"input", "algorithm", "rounds", "messages", "colors",
-                   "time (s)"},
+                   "sim (s)"},
                   {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight,
                    Align::kRight, Align::kRight});
   table.set_title("speculative framework vs Jones-Plassmann at " +

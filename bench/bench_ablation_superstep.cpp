@@ -31,7 +31,7 @@ int run(int argc, const char** argv) {
   const DistGraph dist = DistGraph::build(g, p);
 
   TextTable table({"superstep s", "rounds", "total conflicts", "messages",
-                   "colors", "time (s)"},
+                   "colors", "sim (s)"},
                   {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
                    Align::kRight, Align::kRight});
   table.set_title("superstep size sweep at " + std::to_string(ranks) +

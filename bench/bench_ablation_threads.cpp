@@ -1,0 +1,178 @@
+// Ablation A7 — shared-memory execution backend (thread sweep).
+//
+// Runs the same matching / coloring / distance-2 workloads with the rank
+// callbacks on 1, 2, 4 and 8 pool threads and reports modelled time and
+// wall-clock time side by side. The modelled results are REQUIRED to be
+// bit-identical across the sweep (that is the backend's contract — the
+// thread count may only change how long the simulation takes to run, never
+// what it computes); the wall-clock column is where the speedup shows.
+//
+// Wall-clock speedup tracks the host's real core count. The summary JSON
+// records hardware_concurrency so a 1-core CI box reporting ~1x is
+// distinguishable from a backend regression.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+namespace pmc::bench {
+namespace {
+
+struct Sample {
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;  // min over reps
+  std::int64_t messages = 0;
+};
+
+template <typename Run>
+Sample measure(int reps, const Run& run) {
+  Sample s;
+  s.wall_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const RunResult r = run();
+    s.sim_seconds = r.sim_seconds;
+    s.messages = r.comm.messages;
+    s.wall_seconds = std::min(s.wall_seconds, r.wall_seconds);
+  }
+  return s;
+}
+
+int run(int argc, const char** argv) {
+  Options opts;
+  opts.add("grid", "192", "grid side length (5-point stencil workloads)");
+  opts.add("ranks", "64", "simulated processor count");
+  // The sweep intentionally bypasses Options::get_threads: oversubscribing
+  // (8 threads on a smaller box) is part of what the ablation measures.
+  opts.add("threads", "1,2,4,8", "comma-separated pool sizes to sweep");
+  opts.add("reps", "3", "repetitions per point (min wall time is reported)");
+  opts.add("csv", "", "optional CSV output path");
+  opts.add("json", "BENCH_threads.json", "summary JSON path (empty = none)");
+  (void)opts.parse(argc, argv);
+  const auto side = static_cast<VertexId>(opts.get_int("grid"));
+  const auto ranks = static_cast<Rank>(opts.get_int("ranks"));
+  const int reps = std::max(1, static_cast<int>(opts.get_int("reps")));
+
+  std::vector<int> thread_list;
+  {
+    std::istringstream iss(opts.get("threads"));
+    std::string tok;
+    while (std::getline(iss, tok, ',')) {
+      const int t = std::stoi(tok);
+      PMC_REQUIRE(t >= 1, "--threads entries must be >= 1, got " << t);
+      thread_list.push_back(t);
+    }
+  }
+  PMC_REQUIRE(!thread_list.empty() && thread_list.front() == 1,
+              "--threads must start with 1 (the sequential baseline)");
+
+  banner("Ablation A7 — execution backend thread sweep",
+         "the backend changes wall-clock time only: modelled time, comm "
+         "stats and results are bit-identical at every thread count");
+
+  const Graph g = grid_2d(side, side, WeightKind::kUniformRandom, 61);
+  Rank pr = 0, pc = 0;
+  factor_processor_grid(ranks, pr, pc);
+  const Partition p = grid_2d_partition(side, side, pr, pc);
+  const DistGraph dist = DistGraph::build(g, p);
+
+  TextTable table({"workload", "threads", "sim (s)", "wall (s)", "speedup"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight});
+  table.set_title("wall-clock thread sweep (sim column must not move)");
+  CsvSink csv(opts.get("csv"), {"workload", "threads", "sim_seconds",
+                                "wall_seconds", "speedup", "messages"});
+
+  struct Workload {
+    std::string name;
+    std::function<RunResult(int)> run;  // threads -> result
+  };
+  const std::vector<Workload> workloads = {
+      {"matching",
+       [&](int threads) {
+         DistMatchingOptions o;
+         o.exec.threads = threads;
+         return match_distributed(dist, o).run;
+       }},
+      {"coloring-sync",
+       [&](int threads) {
+         auto o = DistColoringOptions::improved();
+         o.superstep_mode = SuperstepMode::kSync;
+         o.exec.threads = threads;
+         return color_distributed(dist, o).run;
+       }},
+      {"distance2-sync",
+       [&](int threads) {
+         DistColoringOptions o;
+         o.superstep_mode = SuperstepMode::kSync;
+         o.exec.threads = threads;
+         return color_distance2_distributed_native(g, p, o).run;
+       }},
+  };
+
+  std::ostringstream json_rows;
+  bool first_row = true;
+  for (const auto& w : workloads) {
+    Sample base;
+    for (const int threads : thread_list) {
+      const Sample s =
+          measure(reps, [&] { return w.run(threads); });
+      if (threads == 1) {
+        base = s;
+      } else {
+        // Exact comparison on purpose: any drift means the deferred-lane
+        // merge diverged from sequential execution.
+        PMC_CHECK(s.sim_seconds == base.sim_seconds,
+                  w.name << ": modelled time moved at threads=" << threads);
+        PMC_CHECK(s.messages == base.messages,
+                  w.name << ": message count moved at threads=" << threads);
+      }
+      const double speedup = base.wall_seconds / s.wall_seconds;
+      table.add_row({w.name, cell_count(threads), cell_sci(s.sim_seconds),
+                     cell_sci(s.wall_seconds), cell(speedup, 2) + "x"});
+      csv.row({w.name, std::to_string(threads),
+               std::to_string(s.sim_seconds),
+               std::to_string(s.wall_seconds), std::to_string(speedup),
+               std::to_string(s.messages)});
+      json_rows << (first_row ? "" : ",") << "\n    {\"workload\": \""
+                << w.name << "\", \"threads\": " << threads
+                << ", \"sim_seconds\": " << s.sim_seconds
+                << ", \"wall_seconds\": " << s.wall_seconds
+                << ", \"speedup\": " << speedup << "}";
+      first_row = false;
+    }
+  }
+  table.print(std::cout);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (const std::string json_path = opts.get("json"); !json_path.empty()) {
+    std::ofstream out(json_path);
+    PMC_REQUIRE(out.good(), "cannot open " << json_path);
+    out << "{\n  \"bench\": \"ablation_threads\",\n  \"grid\": " << side
+        << ",\n  \"ranks\": " << ranks
+        << ",\n  \"reps\": " << reps
+        << ",\n  \"hardware_concurrency\": " << hw
+        << ",\n  \"rows\": [" << json_rows.str() << "\n  ]\n}\n";
+    std::cout << "summary written to " << json_path << '\n';
+  }
+  std::cout << "(host advertises " << hw
+            << " hardware thread(s); wall-clock speedup is bounded by real "
+               "cores, the sim column by design must not move)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pmc::bench
+
+int main(int argc, const char** argv) {
+  try {
+    return pmc::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_ablation_threads: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -39,7 +39,7 @@ int run(int argc, const char** argv) {
             << "; sequential D2 colors=" << seq.num_colors() << "\n\n";
 
   TextTable table({"procs", "variant", "colors", "rounds", "messages",
-                   "volume (B)", "time (s)"},
+                   "volume (B)", "sim (s)"},
                   {Align::kRight, Align::kLeft, Align::kRight, Align::kRight,
                    Align::kRight, Align::kRight, Align::kRight});
   table.set_title("distance-2 coloring: native two-hop vs squared graph");

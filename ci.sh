@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CI driver: tier-1 verify (full build + test suite) followed by an
-# ASan+UBSan build of the runtime- and distributed-algorithm-facing tests.
+# CI driver: tier-1 verify (full build + test suite), an ASan+UBSan build of
+# the runtime- and distributed-algorithm-facing tests, and a TSan build that
+# runs the threaded execution backend under the race detector.
 #
-#   ./ci.sh          # both stages
+#   ./ci.sh          # all stages
 #   ./ci.sh tier1    # tier-1 only
-#   ./ci.sh asan     # sanitizer stage only
+#   ./ci.sh asan     # ASan+UBSan stage only
+#   ./ci.sh tsan     # ThreadSanitizer stage only
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,6 +33,7 @@ asan() {
   # serialized payloads the most aggressively.
   local tests=(
     test_fabric
+    test_exec
     test_chaos
     test_determinism_regression
     test_runtime_engines
@@ -46,10 +49,35 @@ asan() {
     --timeout 600
 }
 
+tsan() {
+  echo "==== sanitizers: TSan on the threaded execution backend ===="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  # test_exec and the determinism suite drive the pool / deferred-lane merge
+  # at explicit thread counts; test_chaos picks up PMC_THREADS=4 through
+  # exec_config_from_env(), so every fault-injection scenario also runs its
+  # rank callbacks concurrently under the race detector. The engine suite
+  # rides along as the sequential-semantics baseline.
+  local tests=(
+    test_exec
+    test_determinism_regression
+    test_chaos
+    test_runtime_engines
+  )
+  cmake --build build-tsan -j "$JOBS" --target "${tests[@]}"
+  local regex
+  regex="^($(IFS='|'; echo "${tests[*]}"))$"
+  PMC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$regex" \
+    --timeout 600
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   asan) asan ;;
-  all) tier1; asan ;;
-  *) echo "usage: $0 [tier1|asan|all]" >&2; exit 2 ;;
+  tsan) tsan ;;
+  all) tier1; asan; tsan ;;
+  *) echo "usage: $0 [tier1|asan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested stages passed"

@@ -3,7 +3,7 @@
 // on the adjacency representation — optionally on simulated ranks.
 //
 // Usage:
-//   mtx_tool <file.mtx> [--ranks=64] [--quality]
+//   mtx_tool <file.mtx> [--ranks=64] [--threads=4] [--quality]
 //
 // With --quality (square/rectangular matrices of moderate size) the exact
 // bipartite matching is also computed and the Table 1.1-style quality
@@ -17,10 +17,15 @@ int main(int argc, const char** argv) {
   using namespace pmc;
   Options opts;
   opts.add("ranks", "16", "simulated rank count");
+  opts.add("threads", "", "execution backend threads (or PMC_THREADS)");
   opts.add_flag("quality", "also compute the exact matching (slow)");
   std::vector<std::string> files;
+  ExecConfig exec;
+  Rank ranks = 0;
   try {
     files = opts.parse(argc, argv);
+    ranks = static_cast<Rank>(opts.get_int("ranks"));
+    exec.threads = opts.get_threads();
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << opts.help("mtx_tool");
     return 2;
@@ -31,7 +36,6 @@ int main(int argc, const char** argv) {
     return 2;
   }
 
-  const auto ranks = static_cast<Rank>(opts.get_int("ranks"));
   for (const auto& file : files) {
     try {
       const SparseMatrix m = read_matrix_market_file(file);
@@ -43,7 +47,9 @@ int main(int argc, const char** argv) {
       // Matching on the bipartite representation.
       BipartiteInfo info;
       const Graph bip = matrix_to_bipartite(m, info);
-      const auto match_result = match_on_ranks(bip, ranks);
+      DistMatchingOptions mopt;
+      mopt.exec = exec;
+      const auto match_result = match_on_ranks(bip, ranks, mopt);
       std::cout << "matching (" << ranks << " ranks): weight="
                 << matching_weight(bip, match_result.matching)
                 << " pairs=" << match_result.matching.cardinality()
@@ -59,7 +65,11 @@ int main(int argc, const char** argv) {
       // Coloring on the adjacency representation (square matrices only).
       if (m.rows == m.cols) {
         const Graph adj = matrix_to_adjacency(m);
-        const auto color_result = color_on_ranks(adj, ranks);
+        // Async supersteps (the default) poll mid-superstep and so run their
+        // compute sequentially; conflict detection still parallelizes.
+        DistColoringOptions copt;
+        copt.exec = exec;
+        const auto color_result = color_on_ranks(adj, ranks, copt);
         std::cout << "coloring (" << ranks
                   << " ranks): colors=" << color_result.coloring.num_colors()
                   << " rounds=" << color_result.rounds

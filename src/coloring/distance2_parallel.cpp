@@ -116,6 +116,8 @@ struct D2RankState {
   std::vector<VertexId> to_color;    // owned local ids, this round
   std::vector<VertexId> colored_d2_boundary;
   ColorChooser chooser{ColorStrategy::kFirstFit};
+  /// Per-rank staging (isolated so rank callbacks can run concurrently).
+  FanoutStage stage{0};
 };
 
 void d2_apply_records(D2RankState& st, const BspMessage& msg) {
@@ -154,12 +156,14 @@ double d2_color_vertex(D2RankState& st, VertexId v, Color* chosen) {
 DistColoringResult color_distance2_distributed_native(
     const Graph& g, const Partition& p, const DistColoringOptions& options) {
   PMC_REQUIRE(options.superstep_size >= 1, "superstep size must be >= 1");
-  Timer wall;
+  WallTimer wall;
   const auto views = build_dist2_views(g, p);
   const Rank P = p.num_parts();
   BspEngine engine(P, options.model,
-                   FabricConfig{0.0, 0, options.faults, options.trace});
+                   FabricConfig{0.0, 0, options.faults, options.trace},
+                   options.exec);
   const bool faults_on = engine.faults_enabled();
+  const bool sync_mode = options.superstep_mode == SuperstepMode::kSync;
 
   std::vector<D2RankState> states(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
@@ -169,16 +173,39 @@ DistColoringResult color_distance2_distributed_native(
     st.chooser = ColorChooser(options.strategy, static_cast<Color>(r));
     st.to_color.resize(static_cast<std::size_t>(st.view->num_owned));
     std::iota(st.to_color.begin(), st.to_color.end(), VertexId{0});
+    // Two-hop recipients are precomputed per vertex, so the distance-2
+    // flush always uses the neighbor-customized policy (the paper's NEW
+    // mode).
+    st.stage = FanoutStage(P);
   }
 
   DistColoringResult result;
-  // Two-hop recipients are precomputed per vertex, so the distance-2 flush
-  // always uses the neighbor-customized policy (the paper's NEW mode).
-  FanoutStage stage(P);
   // Global ids whose color announcement was dropped this round, per sending
   // rank; the conflict phase resets and re-enters them (same recovery as the
-  // distance-1 coloring).
+  // distance-1 coloring). Receipt callbacks fire on the main thread in both
+  // execution modes, so no locking is needed.
   std::vector<std::unordered_set<VertexId>> lost(static_cast<std::size_t>(P));
+  const auto send_from = [&lost, faults_on](BspEngine::RankCtx& ctx) {
+    return [&lost, faults_on, &ctx](Rank dst, std::vector<std::byte> payload,
+                                    std::int64_t records) {
+      if (!faults_on) {
+        ctx.send(dst, std::move(payload), records);
+        return;
+      }
+      const Rank src = ctx.rank();
+      ctx.send(dst, std::move(payload), records,
+               [&lost, src](const CommFabric::SendReceipt& receipt,
+                            std::span<const std::byte> bytes) {
+                 if (!receipt.dropped) return;
+                 ByteReader reader(bytes);
+                 while (!reader.done()) {
+                   const auto global = reader.get<VertexId>();
+                   (void)reader.get<Color>();
+                   lost[static_cast<std::size_t>(src)].insert(global);
+                 }
+               });
+    };
+  };
 
   while (true) {
     VertexId max_todo = 0;
@@ -193,17 +220,21 @@ DistColoringResult color_distance2_distributed_native(
     const VertexId steps =
         (max_todo + options.superstep_size - 1) / options.superstep_size;
     for (VertexId k = 0; k < steps; ++k) {
-      for (Rank r = 0; r < P; ++r) {
+      // Asynchronous supersteps poll mid-superstep (a cross-rank read), so
+      // they only parallelize in sync mode — same rule as the distance-1
+      // coloring.
+      engine.run_ranks(sync_mode, [&](BspEngine::RankCtx& ctx) {
+        const Rank r = ctx.rank();
         D2RankState& st = states[static_cast<std::size_t>(r)];
-        if (options.superstep_mode == SuperstepMode::kAsync) {
-          for (const BspMessage& msg : engine.poll(r)) {
+        if (!sync_mode) {
+          for (const BspMessage& msg : ctx.poll()) {
             d2_apply_records(st, msg);
-            engine.charge(r, static_cast<double>(msg.payload.size()) / 12.0,
-                          WorkPhase::kBoundary);
+            ctx.charge(static_cast<double>(msg.payload.size()) / 12.0,
+                       WorkPhase::kBoundary);
           }
         }
         const auto begin = static_cast<std::size_t>(k * options.superstep_size);
-        if (begin >= st.to_color.size()) continue;
+        if (begin >= st.to_color.size()) return;
         const auto end =
             std::min(st.to_color.size(),
                      begin + static_cast<std::size_t>(options.superstep_size));
@@ -212,59 +243,42 @@ DistColoringResult color_distance2_distributed_native(
           const auto& recipients =
               st.view->recipients[static_cast<std::size_t>(v)];
           Color chosen;
-          engine.charge(r, d2_color_vertex(st, v, &chosen),
-                        recipients.empty() ? WorkPhase::kInterior
-                                           : WorkPhase::kBoundary);
+          ctx.charge(d2_color_vertex(st, v, &chosen),
+                     recipients.empty() ? WorkPhase::kInterior
+                                        : WorkPhase::kBoundary);
           st.color[static_cast<std::size_t>(v)] = chosen;
           if (recipients.empty()) continue;
           st.colored_d2_boundary.push_back(v);
           const VertexId global =
               st.view->global_ids[static_cast<std::size_t>(v)];
           for (Rank dst : recipients) {
-            stage.stage(dst, global, chosen);
+            st.stage.stage(dst, global, chosen);
           }
         }
-        stage.flush(SendPolicy::kCustomizedNeighbors, r,
-                    [&engine, &lost, faults_on, r](
-                        Rank dst, std::vector<std::byte> payload,
-                        std::int64_t records) {
-                      if (!faults_on) {
-                        engine.send(r, dst, std::move(payload), records);
-                        return;
-                      }
-                      const auto receipt =
-                          engine.send(r, dst, payload, records);
-                      if (receipt.dropped) {
-                        ByteReader reader(payload);
-                        while (!reader.done()) {
-                          const auto global = reader.get<VertexId>();
-                          (void)reader.get<Color>();
-                          lost[static_cast<std::size_t>(r)].insert(global);
-                        }
-                      }
-                    });
-      }
+        st.stage.flush(SendPolicy::kCustomizedNeighbors, r, send_from(ctx));
+      });
       ++result.total_supersteps;
-      if (options.superstep_mode == SuperstepMode::kSync) {
+      if (sync_mode) {
         engine.barrier();
-        for (Rank r = 0; r < P; ++r) {
-          for (const BspMessage& msg : engine.drain(r)) {
-            d2_apply_records(states[static_cast<std::size_t>(r)], msg);
-          }
-        }
+        engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+          D2RankState& st = states[static_cast<std::size_t>(ctx.rank())];
+          for (const BspMessage& msg : ctx.drain()) d2_apply_records(st, msg);
+        });
       }
     }
 
     engine.barrier();
-    for (Rank r = 0; r < P; ++r) {
-      for (const BspMessage& msg : engine.drain(r)) {
-        d2_apply_records(states[static_cast<std::size_t>(r)], msg);
-      }
-    }
+    engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+      D2RankState& st = states[static_cast<std::size_t>(ctx.rank())];
+      for (const BspMessage& msg : ctx.drain()) d2_apply_records(st, msg);
+    });
 
-    // Conflict detection over distance-2 neighborhoods.
-    EdgeId recolored = 0;
-    for (Rank r = 0; r < P; ++r) {
+    // Conflict detection over distance-2 neighborhoods. Counters accumulate
+    // per rank and fold in rank order after the parallel region.
+    std::vector<EdgeId> recolored(static_cast<std::size_t>(P), 0);
+    std::vector<std::int64_t> reentries(static_cast<std::size_t>(P), 0);
+    engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+      const Rank r = ctx.rank();
       D2RankState& st = states[static_cast<std::size_t>(r)];
       const Dist2RankView& view = *st.view;
       auto& lost_r = lost[static_cast<std::size_t>(r)];
@@ -277,7 +291,7 @@ DistColoringResult color_distance2_distributed_native(
           // unconditionally.
           st.color[static_cast<std::size_t>(v)] = kNoColor;
           st.to_color.push_back(v);
-          ++result.fault_reentries;
+          ++reentries[static_cast<std::size_t>(r)];
           continue;
         }
         const std::uint64_t rv = vertex_priority(gv, options.seed);
@@ -301,17 +315,22 @@ DistColoringResult color_distance2_distributed_native(
           }
           if (lose) break;
         }
-        engine.charge(r, work, WorkPhase::kBoundary);
+        ctx.charge(work, WorkPhase::kBoundary);
         if (lose) {
           st.color[static_cast<std::size_t>(v)] = kNoColor;
           st.to_color.push_back(v);
-          ++recolored;
+          ++recolored[static_cast<std::size_t>(r)];
         }
       }
       st.colored_d2_boundary.clear();
       lost_r.clear();
+    });
+    EdgeId recolored_total = 0;
+    for (Rank r = 0; r < P; ++r) {
+      recolored_total += recolored[static_cast<std::size_t>(r)];
+      result.fault_reentries += reentries[static_cast<std::size_t>(r)];
     }
-    result.conflicts_per_round.push_back(recolored);
+    result.conflicts_per_round.push_back(recolored_total);
     ++result.rounds;
     engine.allreduce();
   }

@@ -19,21 +19,26 @@ struct JpRankState {
   std::vector<VertexId> uncolored;   // owned, shrinking frontier
   std::vector<std::vector<Rank>> adj_ranks;  // per boundary vertex
   ColorChooser chooser{ColorStrategy::kFirstFit};
+  // Per-rank send scratch (isolated so rank callbacks can run concurrently).
+  std::vector<ByteWriter> dest_payload;
+  std::vector<std::int64_t> dest_records;
 };
 
 }  // namespace
 
 JonesPlassmannResult color_jones_plassmann(
     const DistGraph& dist, const JonesPlassmannOptions& options) {
-  Timer wall;
+  WallTimer wall;
   const Rank P = dist.num_ranks();
-  BspEngine engine(P, options.model);
+  BspEngine engine(P, options.model, FabricConfig{}, options.exec);
 
   std::vector<JpRankState> states(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
     JpRankState& st = states[static_cast<std::size_t>(r)];
     const LocalGraph& lg = dist.local(r);
     st.lg = &lg;
+    st.dest_payload.resize(static_cast<std::size_t>(P));
+    st.dest_records.assign(static_cast<std::size_t>(P), 0);
     st.color.assign(static_cast<std::size_t>(lg.num_local()), kNoColor);
     st.uncolored.resize(static_cast<std::size_t>(lg.num_owned()));
     for (VertexId v = 0; v < lg.num_owned(); ++v) {
@@ -51,8 +56,6 @@ JonesPlassmannResult color_jones_plassmann(
   }
 
   JonesPlassmannResult result;
-  std::vector<ByteWriter> dest_payload(static_cast<std::size_t>(P));
-  std::vector<std::int64_t> dest_records(static_cast<std::size_t>(P), 0);
 
   while (true) {
     VertexId remaining = 0;
@@ -63,14 +66,19 @@ JonesPlassmannResult color_jones_plassmann(
     PMC_REQUIRE(result.rounds < options.max_rounds,
                 "Jones-Plassmann failed to converge in " << options.max_rounds
                                                          << " rounds");
-    for (Rank r = 0; r < P; ++r) {
+    // Each JP round is bulk-synchronous (no mid-round polling), so the
+    // per-rank callbacks always parallelize.
+    engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+      const Rank r = ctx.rank();
       JpRankState& st = states[static_cast<std::size_t>(r)];
       const LocalGraph& lg = *st.lg;
+      auto& dest_payload = st.dest_payload;
+      auto& dest_records = st.dest_records;
       std::vector<Rank> touched;
       std::vector<VertexId> still_uncolored;
       still_uncolored.reserve(st.uncolored.size());
       for (const VertexId v : st.uncolored) {
-        engine.charge(r, static_cast<double>(lg.degree(v)) + 1.0);
+        ctx.charge(static_cast<double>(lg.degree(v)) + 1.0);
         const VertexId gv = lg.global_id(v);
         const std::uint64_t pv = vertex_priority(gv, options.seed);
         bool is_max = true;
@@ -110,16 +118,16 @@ JonesPlassmannResult color_jones_plassmann(
       touched.erase(std::unique(touched.begin(), touched.end()),
                     touched.end());
       for (Rank dst : touched) {
-        engine.send(r, dst, dest_payload[static_cast<std::size_t>(dst)].take(),
-                    dest_records[static_cast<std::size_t>(dst)]);
+        ctx.send(dst, dest_payload[static_cast<std::size_t>(dst)].take(),
+                 dest_records[static_cast<std::size_t>(dst)]);
         dest_records[static_cast<std::size_t>(dst)] = 0;
       }
-    }
+    });
     // Round barrier + ghost color application.
     engine.barrier();
-    for (Rank r = 0; r < P; ++r) {
-      JpRankState& st = states[static_cast<std::size_t>(r)];
-      for (const BspMessage& msg : engine.drain(r)) {
+    engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+      JpRankState& st = states[static_cast<std::size_t>(ctx.rank())];
+      for (const BspMessage& msg : ctx.drain()) {
         ByteReader reader(msg.payload);
         while (!reader.done()) {
           const auto global = reader.get<VertexId>();
@@ -129,7 +137,7 @@ JonesPlassmannResult color_jones_plassmann(
           st.color[static_cast<std::size_t>(local)] = c;
         }
       }
-    }
+    });
     ++result.rounds;
   }
 

@@ -19,6 +19,7 @@
 #include "partition/partition.hpp"
 #include "runtime/comm_stats.hpp"
 #include "runtime/dist_graph.hpp"
+#include "runtime/exec/backend.hpp"
 #include "runtime/machine_model.hpp"
 
 namespace pmc {
@@ -28,6 +29,9 @@ struct JonesPlassmannOptions {
   MachineModel model = MachineModel::blue_gene_p();
   std::uint64_t seed = 0;
   int max_rounds = 100000;
+  /// Execution backend (exec.threads > 1 runs the per-rank round callbacks
+  /// on a thread pool, bit-identically to sequential execution).
+  ExecConfig exec;
 };
 
 /// Result of a Jones–Plassmann run.

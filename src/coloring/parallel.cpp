@@ -48,6 +48,10 @@ struct RankState {
   std::vector<std::vector<Rank>> adj_ranks;
   ColorChooser chooser{ColorStrategy::kFirstFit};
   std::vector<std::int64_t> usage;  // for kLeastUsed
+  /// Per-destination staging for this rank's current superstep, flushed
+  /// under the configured fabric send policy. Per rank (not shared) so
+  /// concurrent rank callbacks stay isolated.
+  FanoutStage stage{0};
 };
 
 void apply_color_records(RankState& state, const BspMessage& msg) {
@@ -81,11 +85,15 @@ double color_vertex(RankState& state, VertexId v, Color chosen_out[1]) {
 DistColoringResult color_distributed(const DistGraph& dist,
                                      const DistColoringOptions& options) {
   PMC_REQUIRE(options.superstep_size >= 1, "superstep size must be >= 1");
-  Timer wall;
+  WallTimer wall;
   const Rank P = dist.num_ranks();
   BspEngine engine(P, options.model,
-                   FabricConfig{0.0, 0, options.faults, options.trace});
+                   FabricConfig{0.0, 0, options.faults, options.trace},
+                   options.exec);
   const bool faults_on = engine.faults_enabled();
+  // Asynchronous supersteps read other ranks' same-superstep messages via
+  // poll(), so only the synchronous mode's compute may run concurrently.
+  const bool sync_mode = options.superstep_mode == SuperstepMode::kSync;
 
   std::vector<RankState> states(static_cast<std::size_t>(P));
   for (Rank r = 0; r < P; ++r) {
@@ -95,6 +103,7 @@ DistColoringResult color_distributed(const DistGraph& dist,
     st.color.assign(static_cast<std::size_t>(lg.num_local()), kNoColor);
     st.chooser = ColorChooser(options.strategy,
                               /*stagger_base=*/static_cast<Color>(r));
+    st.stage = FanoutStage(P);
     if (options.strategy == ColorStrategy::kLeastUsed) {
       st.usage.assign(1, 0);
     }
@@ -130,31 +139,33 @@ DistColoringResult color_distributed(const DistGraph& dist,
   DistColoringResult result;
   const std::uint64_t seed = options.seed;
 
-  // Per-destination staging for one superstep of one rank, flushed under the
-  // configured fabric send policy (FIAB / FIAC / NEW).
-  FanoutStage stage(P);
   // Global ids whose color announcement was dropped this round, per sending
-  // rank; the conflict phase resets and re-enters them.
+  // rank; the conflict phase resets and re-enters them. Receipt callbacks
+  // fire on the main thread (immediately under direct execution, at the
+  // rank-ordered merge under deferred execution), so no locking is needed.
   std::vector<std::unordered_set<VertexId>> lost(static_cast<std::size_t>(P));
-  const auto send_from = [&engine, &lost, faults_on](Rank src) {
-    return [&engine, &lost, faults_on, src](Rank dst,
-                                            std::vector<std::byte> payload,
-                                            std::int64_t records) {
+  const auto send_from = [&lost, faults_on](BspEngine::RankCtx& ctx) {
+    return [&lost, faults_on, &ctx](Rank dst, std::vector<std::byte> payload,
+                                    std::int64_t records) {
       if (!faults_on) {
-        engine.send(src, dst, std::move(payload), records);
+        ctx.send(dst, std::move(payload), records);
         return;
       }
-      const auto receipt = engine.send(src, dst, payload, records);
-      if (receipt.dropped) {
-        // The receiver never sees these colors, so conflict detection there
-        // cannot be symmetric; the sender re-enters the vertices instead.
-        ByteReader reader(payload);
-        while (!reader.done()) {
-          const auto global = reader.get<VertexId>();
-          (void)reader.get<Color>();
-          lost[static_cast<std::size_t>(src)].insert(global);
-        }
-      }
+      const Rank src = ctx.rank();
+      ctx.send(dst, std::move(payload), records,
+               [&lost, src](const CommFabric::SendReceipt& receipt,
+                            std::span<const std::byte> bytes) {
+                 if (!receipt.dropped) return;
+                 // The receiver never sees these colors, so conflict
+                 // detection there cannot be symmetric; the sender re-enters
+                 // the vertices instead.
+                 ByteReader reader(bytes);
+                 while (!reader.done()) {
+                   const auto global = reader.get<VertexId>();
+                   (void)reader.get<Color>();
+                   lost[static_cast<std::size_t>(src)].insert(global);
+                 }
+               });
     };
   };
 
@@ -172,20 +183,21 @@ DistColoringResult color_distributed(const DistGraph& dist,
     const VertexId steps =
         (max_todo + options.superstep_size - 1) / options.superstep_size;
     for (VertexId k = 0; k < steps; ++k) {
-      for (Rank r = 0; r < P; ++r) {
+      engine.run_ranks(sync_mode, [&](BspEngine::RankCtx& ctx) {
+        const Rank r = ctx.rank();
         RankState& st = states[static_cast<std::size_t>(r)];
         const LocalGraph& lg = *st.lg;
         // Asynchronous receive: use whatever color information has arrived
         // by this rank's local time.
-        if (options.superstep_mode == SuperstepMode::kAsync) {
-          for (const BspMessage& msg : engine.poll(r)) {
+        if (!sync_mode) {
+          for (const BspMessage& msg : ctx.poll()) {
             apply_color_records(st, msg);
-            engine.charge(r, static_cast<double>(msg.payload.size()) / 12.0,
-                          WorkPhase::kBoundary);
+            ctx.charge(static_cast<double>(msg.payload.size()) / 12.0,
+                       WorkPhase::kBoundary);
           }
         }
         const auto begin = static_cast<std::size_t>(k * options.superstep_size);
-        if (begin >= st.to_color.size()) continue;
+        if (begin >= st.to_color.size()) return;
         const auto end = std::min(st.to_color.size(),
                                   begin + static_cast<std::size_t>(
                                               options.superstep_size));
@@ -193,53 +205,55 @@ DistColoringResult color_distributed(const DistGraph& dist,
           const VertexId v = st.to_color[i];
           const bool boundary = lg.is_boundary(v);
           Color chosen;
-          engine.charge(r, color_vertex(st, v, &chosen),
-                        boundary ? WorkPhase::kBoundary
-                                 : WorkPhase::kInterior);
+          ctx.charge(color_vertex(st, v, &chosen),
+                     boundary ? WorkPhase::kBoundary : WorkPhase::kInterior);
           st.color[static_cast<std::size_t>(v)] = chosen;
           if (!boundary) continue;
           st.colored_boundary.push_back(v);
           const VertexId global = lg.global_id(v);
           if (options.comm_mode == CommMode::kBroadcastUnion) {
-            stage.stage_union(global, chosen);
+            st.stage.stage_union(global, chosen);
           } else {
             for (Rank dst : st.adj_ranks[static_cast<std::size_t>(v)]) {
-              stage.stage(dst, global, chosen);
+              st.stage.stage(dst, global, chosen);
             }
           }
         }
         // Send this superstep's boundary colors under the configured policy.
-        stage.flush(options.comm_mode, r, send_from(r));
-      }
+        st.stage.flush(options.comm_mode, r, send_from(ctx));
+      });
       ++result.total_supersteps;
-      if (options.superstep_mode == SuperstepMode::kSync) {
+      if (sync_mode) {
         engine.barrier();
-        for (Rank r = 0; r < P; ++r) {
-          for (const BspMessage& msg : engine.drain(r)) {
-            apply_color_records(states[static_cast<std::size_t>(r)], msg);
+        engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+          RankState& st = states[static_cast<std::size_t>(ctx.rank())];
+          for (const BspMessage& msg : ctx.drain()) {
+            apply_color_records(st, msg);
           }
-        }
+        });
       }
     }
 
     // ---- "Wait until all incoming messages are received" ---------------
     engine.barrier();
-    for (Rank r = 0; r < P; ++r) {
-      for (const BspMessage& msg : engine.drain(r)) {
-        apply_color_records(states[static_cast<std::size_t>(r)], msg);
+    engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+      RankState& st = states[static_cast<std::size_t>(ctx.rank())];
+      for (const BspMessage& msg : ctx.drain()) {
+        apply_color_records(st, msg);
       }
-    }
+    });
 
     // ---- Conflict detection (no communication needed) ------------------
-    EdgeId recolored = 0;
-    for (Rank r = 0; r < P; ++r) {
+    std::vector<EdgeId> recolored(static_cast<std::size_t>(P), 0);
+    std::vector<std::int64_t> reentries(static_cast<std::size_t>(P), 0);
+    engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+      const Rank r = ctx.rank();
       RankState& st = states[static_cast<std::size_t>(r)];
       const LocalGraph& lg = *st.lg;
       auto& lost_r = lost[static_cast<std::size_t>(r)];
       st.to_color.clear();
       for (const VertexId v : st.colored_boundary) {
-        engine.charge(r, static_cast<double>(lg.degree(v)),
-                      WorkPhase::kBoundary);
+        ctx.charge(static_cast<double>(lg.degree(v)), WorkPhase::kBoundary);
         const Color cv = st.color[static_cast<std::size_t>(v)];
         const VertexId gv = lg.global_id(v);
         if (faults_on && lost_r.count(gv) != 0) {
@@ -247,7 +261,7 @@ DistColoringResult color_distributed(const DistGraph& dist,
           // will recolor — and re-announce — next round).
           st.color[static_cast<std::size_t>(v)] = kNoColor;
           st.to_color.push_back(v);
-          ++result.fault_reentries;
+          ++reentries[static_cast<std::size_t>(r)];
           continue;
         }
         bool lose = false;
@@ -267,13 +281,18 @@ DistColoringResult color_distributed(const DistGraph& dist,
         if (lose) {
           st.color[static_cast<std::size_t>(v)] = kNoColor;
           st.to_color.push_back(v);
-          ++recolored;
+          ++recolored[static_cast<std::size_t>(r)];
         }
       }
       st.colored_boundary.clear();
       lost_r.clear();
+    });
+    EdgeId recolored_total = 0;
+    for (Rank r = 0; r < P; ++r) {
+      recolored_total += recolored[static_cast<std::size_t>(r)];
+      result.fault_reentries += reentries[static_cast<std::size_t>(r)];
     }
-    result.conflicts_per_round.push_back(recolored);
+    result.conflicts_per_round.push_back(recolored_total);
     ++result.rounds;
 
     // ---- Termination check ("while exists j with U_j nonempty") --------

@@ -25,6 +25,7 @@
 #include "partition/partition.hpp"
 #include "runtime/comm_stats.hpp"
 #include "runtime/dist_graph.hpp"
+#include "runtime/exec/backend.hpp"
 #include "runtime/fabric.hpp"
 #include "runtime/machine_model.hpp"
 
@@ -60,6 +61,12 @@ struct DistColoringOptions {
   FaultConfig faults;
   /// Instrumentation options (optional JSONL trace sink).
   TraceConfig trace;
+  /// Execution backend: with exec.threads > 1 the parallel-safe phases
+  /// (synchronous-superstep compute, post-barrier drains, conflict
+  /// detection) run the rank callbacks on a thread pool, bit-identically to
+  /// sequential execution. Asynchronous supersteps poll mid-superstep and
+  /// always run sequentially.
+  ExecConfig exec;
 
   /// FIAB preset: broadcast-based, superstep ~100 (paper: best for
   /// poorly-partitioned graphs among the broadcast variants).

@@ -13,22 +13,23 @@ namespace pmc {
 
 DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
                                              const Coloring& c,
-                                             const MachineModel& model) {
+                                             const MachineModel& model,
+                                             const ExecConfig& exec) {
   PMC_REQUIRE(c.num_vertices() == dist.num_global_vertices(),
               "coloring size does not match the distributed graph");
-  Timer wall;
+  WallTimer wall;
   const Rank P = dist.num_ranks();
-  BspEngine engine(P, model);
+  BspEngine engine(P, model, FabricConfig{}, exec);
 
   // Boundary color exchange.
-  for (Rank r = 0; r < P; ++r) {
-    const LocalGraph& lg = dist.local(r);
+  engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+    const LocalGraph& lg = dist.local(ctx.rank());
     std::unordered_map<Rank, ByteWriter> out;
     std::unordered_map<Rank, std::int64_t> records;
     std::vector<Rank> scratch;
     for (const VertexId v : lg.boundary_vertices()) {
       const VertexId gv = lg.global_id(v);
-      engine.charge(r, static_cast<double>(lg.degree(v)));
+      ctx.charge(static_cast<double>(lg.degree(v)));
       scratch.clear();
       for (VertexId u : lg.neighbors(v)) {
         if (lg.is_ghost(u)) scratch.push_back(lg.ghost_owner(u));
@@ -43,16 +44,18 @@ DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
       }
     }
     for (auto& [dst, writer] : out) {
-      engine.send(r, dst, writer.take(), records[dst]);
+      ctx.send(dst, writer.take(), records[dst]);
     }
-  }
+  });
   engine.barrier();
 
-  std::int64_t violations = 0;
-  for (Rank r = 0; r < P; ++r) {
+  std::vector<std::int64_t> violations(static_cast<std::size_t>(P), 0);
+  engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+    const Rank r = ctx.rank();
     const LocalGraph& lg = dist.local(r);
+    std::int64_t& mine = violations[static_cast<std::size_t>(r)];
     std::unordered_map<VertexId, Color> ghost_color;
-    for (const BspMessage& msg : engine.drain(r)) {
+    for (const BspMessage& msg : ctx.drain()) {
       ByteReader reader(msg.payload);
       while (!reader.done()) {
         const auto gv = reader.get<VertexId>();
@@ -61,11 +64,11 @@ DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
       }
     }
     for (VertexId v = 0; v < lg.num_owned(); ++v) {
-      engine.charge(r, static_cast<double>(lg.degree(v)) + 1.0);
+      ctx.charge(static_cast<double>(lg.degree(v)) + 1.0);
       const VertexId gv = lg.global_id(v);
       const Color cv = c.color[static_cast<std::size_t>(gv)];
       if (cv < 0) {
-        ++violations;  // uncolored (counted at the owner)
+        ++mine;  // uncolored (counted at the owner)
         continue;
       }
       for (VertexId u : lg.neighbors(v)) {
@@ -80,14 +83,16 @@ DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
         } else {
           cu = c.color[static_cast<std::size_t>(gu)];
         }
-        if (cu == cv) ++violations;
+        if (cu == cv) ++mine;
       }
     }
-  }
+  });
   engine.allreduce();
 
   DistVerifyResult result;
-  result.violations = violations;
+  for (Rank r = 0; r < P; ++r) {
+    result.violations += violations[static_cast<std::size_t>(r)];
+  }
   result.run.sim_seconds = engine.time();
   result.run.wall_seconds = wall.seconds();
   result.run.comm = engine.comm();

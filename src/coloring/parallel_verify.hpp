@@ -9,14 +9,18 @@
 #include "coloring/coloring.hpp"
 #include "matching/parallel_verify.hpp"  // DistVerifyResult
 #include "runtime/dist_graph.hpp"
+#include "runtime/exec/backend.hpp"
 #include "runtime/machine_model.hpp"
 
 namespace pmc {
 
 /// Counts uncolored vertices and monochromatic edges of `c` across the
-/// distribution using only local + exchanged boundary information.
+/// distribution using only local + exchanged boundary information. Both
+/// phases are bulk-synchronous, so `exec.threads > 1` runs the per-rank
+/// callbacks on a thread pool (bit-identical result and cost model).
 [[nodiscard]] DistVerifyResult verify_coloring_distributed(
     const DistGraph& dist, const Coloring& c,
-    const MachineModel& model = MachineModel::zero_cost());
+    const MachineModel& model = MachineModel::zero_cost(),
+    const ExecConfig& exec = {});
 
 }  // namespace pmc

@@ -396,7 +396,8 @@ DistMatchingResult match_distributed(const DistGraph& dist,
                                      const DistMatchingOptions& options) {
   EventEngine engine(options.model,
                      FabricConfig{options.jitter_seconds, options.jitter_seed,
-                                  options.faults, options.trace});
+                                  options.faults, options.trace},
+                     options.exec);
   for (Rank r = 0; r < dist.num_ranks(); ++r) {
     engine.add_process(
         std::make_unique<MatchProcess>(dist.local(r), options));

@@ -29,6 +29,7 @@
 #include "partition/partition.hpp"
 #include "runtime/comm_stats.hpp"
 #include "runtime/dist_graph.hpp"
+#include "runtime/exec/backend.hpp"
 #include "runtime/fabric.hpp"
 #include "runtime/machine_model.hpp"
 #include "runtime/trace.hpp"
@@ -57,6 +58,11 @@ struct DistMatchingOptions {
   FaultConfig faults;
   /// Instrumentation options (optional JSONL trace sink).
   TraceConfig trace;
+  /// Execution backend: exec.threads > 1 runs the event engine's
+  /// parallel-safe fan-outs (rank start, idle kicks) on a thread pool,
+  /// bit-identically to sequential execution. Event dispatch itself is
+  /// inherently serial (a global time-ordered queue) and stays sequential.
+  ExecConfig exec;
 };
 
 /// Result of a distributed matching run.

@@ -13,24 +13,25 @@ namespace pmc {
 
 DistVerifyResult verify_matching_distributed(const DistGraph& dist,
                                              const Matching& m,
-                                             const MachineModel& model) {
+                                             const MachineModel& model,
+                                             const ExecConfig& exec) {
   PMC_REQUIRE(m.num_vertices() == dist.num_global_vertices(),
               "matching size does not match the distributed graph");
-  Timer wall;
+  WallTimer wall;
   const Rank P = dist.num_ranks();
-  BspEngine engine(P, model);
+  BspEngine engine(P, model, FabricConfig{}, exec);
 
   // Phase 1: every rank ships (vertex, mate) for its boundary vertices to
   // each neighboring rank — the information receivers need about ghosts.
-  for (Rank r = 0; r < P; ++r) {
-    const LocalGraph& lg = dist.local(r);
+  engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+    const LocalGraph& lg = dist.local(ctx.rank());
     std::unordered_map<Rank, ByteWriter> out;
     std::unordered_map<Rank, std::int64_t> records;
     std::vector<Rank> scratch_ranks;
     for (const VertexId v : lg.boundary_vertices()) {
       const VertexId gv = lg.global_id(v);
       const VertexId mate = m.mate[static_cast<std::size_t>(gv)];
-      engine.charge(r, static_cast<double>(lg.degree(v)));
+      ctx.charge(static_cast<double>(lg.degree(v)));
       scratch_ranks.clear();
       for (VertexId u : lg.neighbors(v)) {
         if (lg.is_ghost(u)) scratch_ranks.push_back(lg.ghost_owner(u));
@@ -46,18 +47,20 @@ DistVerifyResult verify_matching_distributed(const DistGraph& dist,
       }
     }
     for (auto& [dst, writer] : out) {
-      engine.send(r, dst, writer.take(), records[dst]);
+      ctx.send(dst, writer.take(), records[dst]);
     }
-  }
+  });
   engine.barrier();
 
   // Phase 2: verify with local + ghost information only.
-  std::int64_t violations = 0;
-  for (Rank r = 0; r < P; ++r) {
+  std::vector<std::int64_t> violations(static_cast<std::size_t>(P), 0);
+  engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+    const Rank r = ctx.rank();
+    std::int64_t& mine = violations[static_cast<std::size_t>(r)];
     const LocalGraph& lg = dist.local(r);
     // Ghost mate table from the received records.
     std::unordered_map<VertexId, VertexId> ghost_mate;
-    for (const BspMessage& msg : engine.drain(r)) {
+    for (const BspMessage& msg : ctx.drain()) {
       ByteReader reader(msg.payload);
       while (!reader.done()) {
         const auto gv = reader.get<VertexId>();
@@ -77,7 +80,7 @@ DistVerifyResult verify_matching_distributed(const DistGraph& dist,
     };
 
     for (VertexId v = 0; v < lg.num_owned(); ++v) {
-      engine.charge(r, static_cast<double>(lg.degree(v)) + 1.0);
+      ctx.charge(static_cast<double>(lg.degree(v)) + 1.0);
       const VertexId gv = lg.global_id(v);
       const VertexId mate = m.mate[static_cast<std::size_t>(gv)];
       if (mate != kNoVertex) {
@@ -94,10 +97,10 @@ DistVerifyResult verify_matching_distributed(const DistGraph& dist,
           }
         }
         if (!is_neighbor) {
-          ++violations;  // matched to a non-edge (count at the owner)
+          ++mine;  // matched to a non-edge (count at the owner)
         } else if (mate_of_local(mate_local) != gv) {
           // Symmetry violation: count once, at the smaller global id.
-          if (gv < mate) ++violations;
+          if (gv < mate) ++mine;
         }
       } else {
         // Maximality: an unmatched owned vertex may not have an unmatched
@@ -106,17 +109,19 @@ DistVerifyResult verify_matching_distributed(const DistGraph& dist,
         for (VertexId u : lg.neighbors(v)) {
           const VertexId gu = lg.global_id(u);
           if (gv < gu && mate_of_local(u) == kNoVertex) {
-            ++violations;
+            ++mine;
             break;
           }
         }
       }
     }
-  }
+  });
   engine.allreduce();
 
   DistVerifyResult result;
-  result.violations = violations;
+  for (Rank r = 0; r < P; ++r) {
+    result.violations += violations[static_cast<std::size_t>(r)];
+  }
   result.run.sim_seconds = engine.time();
   result.run.wall_seconds = wall.seconds();
   result.run.comm = engine.comm();

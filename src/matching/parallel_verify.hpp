@@ -14,6 +14,7 @@
 #include "matching/matching.hpp"
 #include "runtime/comm_stats.hpp"
 #include "runtime/dist_graph.hpp"
+#include "runtime/exec/backend.hpp"
 #include "runtime/machine_model.hpp"
 
 namespace pmc {
@@ -26,9 +27,12 @@ struct DistVerifyResult {
 
 /// Verifies symmetry, edge-validity and maximality of `m` across the
 /// distribution. Violations on cross edges are counted once (by the
-/// endpoint with the smaller global id).
+/// endpoint with the smaller global id). Both phases are bulk-synchronous,
+/// so `exec.threads > 1` runs the per-rank callbacks on a thread pool
+/// (bit-identical result and cost model).
 [[nodiscard]] DistVerifyResult verify_matching_distributed(
     const DistGraph& dist, const Matching& m,
-    const MachineModel& model = MachineModel::zero_cost());
+    const MachineModel& model = MachineModel::zero_cost(),
+    const ExecConfig& exec = {});
 
 }  // namespace pmc

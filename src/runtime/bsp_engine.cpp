@@ -10,8 +10,9 @@ BspEngine::BspEngine(Rank num_ranks, MachineModel model, TraceConfig trace)
     : BspEngine(num_ranks, std::move(model),
                 CommFabric::Config{0.0, 0, FaultConfig{}, std::move(trace)}) {}
 
-BspEngine::BspEngine(Rank num_ranks, MachineModel model, FabricConfig config)
-    : fabric_(std::move(model), std::move(config)) {
+BspEngine::BspEngine(Rank num_ranks, MachineModel model, FabricConfig config,
+                     ExecConfig exec)
+    : fabric_(std::move(model), std::move(config)), backend_(exec) {
   PMC_REQUIRE(num_ranks >= 1, "need at least one rank");
   for (Rank r = 0; r < num_ranks; ++r) (void)fabric_.add_rank();
   inboxes_.resize(static_cast<std::size_t>(num_ranks));
@@ -35,10 +36,15 @@ CommFabric::SendReceipt BspEngine::send(Rank src, Rank dst,
   // make conflict detection asymmetric. (The event engine's transport does
   // the same by sequence number; here the round structure stands in for it.)
   if (receipt.duplicated) fabric_.note_dup_suppressed(dst);
+  deliver(dst, src, receipt.arrival, std::move(payload));
+  return receipt;
+}
 
+void BspEngine::deliver(Rank dst, Rank src, double arrival,
+                        std::vector<std::byte> payload) {
   BspMessage msg;
   msg.src = src;
-  msg.arrival = receipt.arrival;
+  msg.arrival = arrival;
   msg.payload = std::move(payload);
   // Insert keeping the inbox sorted by arrival; messages mostly arrive in
   // order so the scan from the back is near O(1).
@@ -48,7 +54,6 @@ CommFabric::SendReceipt BspEngine::send(Rank src, Rank dst,
     --pos;
   }
   inbox.insert(pos, std::move(msg));
-  return receipt;
 }
 
 std::vector<BspMessage> BspEngine::poll(Rank r) {
@@ -83,5 +88,112 @@ std::vector<BspMessage> BspEngine::drain(Rank r) {
 }
 
 void BspEngine::allreduce() { barrier(); }
+
+BspEngine::RankCtx::RankCtx(BspEngine& engine, Rank r, bool deferred)
+    : engine_(&engine), rank_(r), deferred_(deferred) {
+  if (deferred_) lane_ = engine.fabric_.make_lane(r);
+}
+
+double BspEngine::RankCtx::now() const {
+  return deferred_ ? lane_.now() : engine_->now(rank_);
+}
+
+void BspEngine::RankCtx::charge(double work_units) {
+  if (deferred_) {
+    lane_.charge(work_units);
+  } else {
+    engine_->charge(rank_, work_units);
+  }
+}
+
+void BspEngine::RankCtx::charge(double work_units, WorkPhase phase) {
+  if (deferred_) {
+    lane_.charge(work_units, phase);
+  } else {
+    engine_->charge(rank_, work_units, phase);
+  }
+}
+
+void BspEngine::RankCtx::send(Rank dst, std::vector<std::byte> payload,
+                              std::int64_t records) {
+  if (deferred_) {
+    const double send_time = lane_.begin_send();
+    sends_.push_back(
+        {dst, std::move(payload), records, send_time, ReceiptFn{}});
+  } else {
+    (void)engine_->send(rank_, dst, std::move(payload), records);
+  }
+}
+
+void BspEngine::RankCtx::send(Rank dst, std::vector<std::byte> payload,
+                              std::int64_t records, ReceiptFn on_receipt) {
+  if (deferred_) {
+    const double send_time = lane_.begin_send();
+    sends_.push_back(
+        {dst, std::move(payload), records, send_time, std::move(on_receipt)});
+    return;
+  }
+  // The engine consumes the payload on delivery, so keep a copy for the
+  // callback (only sends whose verdict matters take this path).
+  const std::vector<std::byte> kept = payload;
+  const auto receipt = engine_->send(rank_, dst, std::move(payload), records);
+  on_receipt(receipt, std::span<const std::byte>(kept));
+}
+
+std::vector<BspMessage> BspEngine::RankCtx::poll() {
+  PMC_REQUIRE(!deferred_,
+              "RankCtx::poll() reads cross-rank state and is only available "
+              "in sequential phases (run_ranks(allow_parallel=false))");
+  return engine_->poll(rank_);
+}
+
+std::vector<BspMessage> BspEngine::RankCtx::drain() {
+  return engine_->drain(rank_);
+}
+
+void BspEngine::run_ranks(bool allow_parallel,
+                          const std::function<void(RankCtx&)>& body) {
+  const Rank P = num_ranks();
+  if (!allow_parallel || backend_.mode() == ExecMode::kSequential) {
+    for (Rank r = 0; r < P; ++r) {
+      RankCtx ctx(*this, r, /*deferred=*/false);
+      body(ctx);
+    }
+    return;
+  }
+  std::vector<RankCtx> ctxs;
+  ctxs.reserve(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    ctxs.push_back(RankCtx(*this, r, /*deferred=*/true));
+  }
+  // Rank callbacks run concurrently against their lanes; the fabric itself
+  // is only read. Per-rank inboxes (drain) are disjoint between callbacks.
+  backend_.parallel_for(static_cast<std::size_t>(P),
+                        [&](std::size_t i) { body(ctxs[i]); });
+  // Merging in ascending rank order restores the sequential global order of
+  // sequence numbers, FIFO channel state, stats and trace output.
+  for (Rank r = 0; r < P; ++r) merge(ctxs[static_cast<std::size_t>(r)]);
+}
+
+void BspEngine::merge(RankCtx& ctx) {
+  // Absorb the lane before replaying its sends: a send's dup-suppression
+  // trace event reads the *receiver's* clock, which must already be final
+  // for lower ranks and still pre-phase for higher ranks — exactly the state
+  // sequential execution would observe at this rank's turn.
+  fabric_.absorb_lane(ctx.lane_);
+  for (auto& s : ctx.sends_) {
+    const auto receipt = fabric_.post_send_at(ctx.rank_, s.dst,
+                                              s.payload.size(), s.records,
+                                              s.send_time);
+    if (receipt.duplicated) fabric_.note_dup_suppressed(s.dst);
+    if (s.on_receipt) {
+      s.on_receipt(receipt, std::span<const std::byte>(s.payload));
+    }
+    if (!receipt.dropped) {
+      deliver(s.dst, ctx.rank_, receipt.arrival, std::move(s.payload));
+    }
+  }
+  ctx.sends_.clear();
+}
 
 }  // namespace pmc

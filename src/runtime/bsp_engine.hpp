@@ -20,10 +20,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "runtime/comm_stats.hpp"
+#include "runtime/exec/backend.hpp"
 #include "runtime/fabric.hpp"
 #include "runtime/machine_model.hpp"
 #include "support/types.hpp"
@@ -48,7 +50,12 @@ class BspEngine {
   /// affected vertices into conflict repair), a duplicated copy is filtered
   /// at the receiver (counted as suppressed) so a straggler cannot carry
   /// stale state into a later superstep.
-  BspEngine(Rank num_ranks, MachineModel model, FabricConfig config);
+  ///
+  /// `exec` selects the execution backend for run_ranks(): with
+  /// exec.threads > 1, parallel-safe phases run their rank callbacks on a
+  /// work-stealing pool — bit-identically to sequential execution.
+  BspEngine(Rank num_ranks, MachineModel model, FabricConfig config,
+            ExecConfig exec = {});
 
   [[nodiscard]] Rank num_ranks() const noexcept { return fabric_.num_ranks(); }
 
@@ -86,6 +93,77 @@ class BspEngine {
   /// Synchronizes all clocks like barrier() and adds the collective cost.
   void allreduce();
 
+  // ---- per-rank execution (sequential or threaded) ------------------------
+
+  /// Callback for RankCtx::send: invoked once the send's receipt is known —
+  /// immediately under direct execution, at the rank-ordered merge under
+  /// deferred execution. The payload span is only valid during the call.
+  using ReceiptFn = std::function<void(const CommFabric::SendReceipt&,
+                                       std::span<const std::byte>)>;
+
+  /// A rank's handle inside run_ranks(). Under direct execution every call
+  /// forwards to the engine; under deferred (threaded) execution charges go
+  /// to a private fabric lane and sends are recorded with their lane send
+  /// time, then replayed through the fabric in rank order at the merge —
+  /// reproducing the sequential schedule bit-for-bit (see CommFabric::Lane).
+  class RankCtx {
+   public:
+    [[nodiscard]] Rank rank() const noexcept { return rank_; }
+    [[nodiscard]] double now() const;
+
+    void charge(double work_units);
+    void charge(double work_units, WorkPhase phase);
+
+    void send(Rank dst, std::vector<std::byte> payload, std::int64_t records);
+    /// Send whose fault verdict the algorithm reacts to (e.g. the coloring
+    /// decodes a dropped payload into its repair set). The callback replaces
+    /// inspecting the returned receipt, which deferred execution cannot
+    /// provide until the merge.
+    void send(Rank dst, std::vector<std::byte> payload, std::int64_t records,
+              ReceiptFn on_receipt);
+
+    /// Deliver messages already arrived at this rank's clock. Reads other
+    /// ranks' same-superstep sends, so it is only available under direct
+    /// execution (run_ranks asserts the phase was declared sequential).
+    [[nodiscard]] std::vector<BspMessage> poll();
+
+    /// Deliver all pending messages (call in a phase that follows a
+    /// barrier). Touches only this rank's inbox, so it is safe — and
+    /// deterministic — in both execution modes.
+    [[nodiscard]] std::vector<BspMessage> drain();
+
+   private:
+    friend class BspEngine;
+    struct DeferredSend {
+      Rank dst = kNoRank;
+      std::vector<std::byte> payload;
+      std::int64_t records = 0;
+      double send_time = 0.0;
+      ReceiptFn on_receipt;
+    };
+
+    RankCtx(BspEngine& engine, Rank r, bool deferred);
+
+    BspEngine* engine_ = nullptr;
+    Rank rank_ = kNoRank;
+    bool deferred_ = false;
+    CommFabric::Lane lane_;            // deferred execution only
+    std::vector<DeferredSend> sends_;  // deferred execution only
+  };
+
+  /// Runs body(ctx) once for every rank. `allow_parallel` declares the phase
+  /// free of cross-rank reads (synchronous-superstep compute, post-barrier
+  /// drains, conflict detection): only then — and only with a threaded
+  /// backend — do the callbacks run concurrently, each against a deferred
+  /// RankCtx, merged in rank order afterwards. Phases that poll() mid-
+  /// superstep must pass allow_parallel = false and run sequentially.
+  void run_ranks(bool allow_parallel,
+                 const std::function<void(RankCtx&)>& body);
+
+  [[nodiscard]] const ExecutionBackend& backend() const noexcept {
+    return backend_;
+  }
+
   /// Current virtual time of rank r.
   [[nodiscard]] double now(Rank r) const { return fabric_.now(r); }
 
@@ -108,7 +186,14 @@ class BspEngine {
   [[nodiscard]] const CommFabric& fabric() const noexcept { return fabric_; }
 
  private:
+  /// Inserts an already-priced message into dst's inbox (sorted by arrival).
+  void deliver(Rank dst, Rank src, double arrival,
+               std::vector<std::byte> payload);
+  /// Absorbs a deferred rank's lane and replays its recorded sends.
+  void merge(RankCtx& ctx);
+
   CommFabric fabric_;
+  ExecutionBackend backend_;
   /// Pending (undelivered) messages per destination, FIFO by arrival.
   std::vector<std::deque<BspMessage>> inboxes_;
 };

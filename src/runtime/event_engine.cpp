@@ -18,31 +18,69 @@ constexpr std::size_t kAckPayloadBytes = 12;
 
 }  // namespace
 
+EventContext::EventContext(EventEngine& engine, Rank rank, bool deferred)
+    : engine_(&engine), rank_(rank), deferred_(deferred) {
+  if (deferred_) lane_ = engine.fabric_.make_lane(rank);
+}
+
 Rank EventContext::num_ranks() const noexcept { return engine_->num_ranks(); }
 
 void EventContext::charge(double work_units) noexcept {
-  engine_->fabric_.charge(rank_, work_units);
+  if (deferred_) {
+    lane_.charge(work_units);
+  } else {
+    engine_->fabric_.charge(rank_, work_units);
+  }
 }
 
 void EventContext::send(Rank dst, std::vector<std::byte> payload,
                         std::int64_t records) {
-  engine_->enqueue(rank_, dst, std::move(payload), records);
+  if (!deferred_) {
+    engine_->enqueue(rank_, dst, std::move(payload), records);
+    return;
+  }
+  // With the reliable transport, a one-attempt budget makes the very first
+  // transmit the (fault-exempt) reliable tail; the lane must skip the stall
+  // wait exactly as post_send() would for an exempt send.
+  const FaultConfig& F = engine_->fabric_.config().fault;
+  const bool exempt_first =
+      engine_->transport_ && F.max_attempts == 1 && F.reliable_tail;
+  DeferredOp op;
+  op.kind = DeferredOp::Kind::kSend;
+  op.dst = dst;
+  op.payload = std::move(payload);
+  op.records = records;
+  op.send_time = lane_.begin_send(exempt_first);
+  ops_.push_back(std::move(op));
 }
 
 double EventContext::now() const noexcept {
-  return engine_->fabric_.now(rank_);
+  return deferred_ ? lane_.now() : engine_->fabric_.now(rank_);
 }
 
 void EventContext::set_round(int round) {
-  engine_->fabric_.set_round(rank_, round);
+  if (deferred_) {
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::kRound;
+    op.round = round;
+    ops_.push_back(std::move(op));
+  } else {
+    engine_->fabric_.set_round(rank_, round);
+  }
 }
 
 void EventContext::set_phase(WorkPhase phase) noexcept {
-  engine_->fabric_.set_phase(rank_, phase);
+  if (deferred_) {
+    lane_.set_phase(phase);
+  } else {
+    engine_->fabric_.set_phase(rank_, phase);
+  }
 }
 
-EventEngine::EventEngine(MachineModel model, FabricConfig config)
+EventEngine::EventEngine(MachineModel model, FabricConfig config,
+                         ExecConfig exec)
     : fabric_(std::move(model), std::move(config)),
+      backend_(exec),
       transport_(fabric_.config().fault.enabled()) {}
 
 EventEngine::EventEngine(MachineModel model, double jitter_seconds,
@@ -84,16 +122,45 @@ void EventEngine::enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
   transmit(src, dst, tseq);
 }
 
-void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq) {
+void EventEngine::enqueue_at(Rank src, Rank dst,
+                             std::vector<std::byte> payload,
+                             std::int64_t records, double send_time) {
+  if (!transport_) {
+    const auto receipt =
+        fabric_.post_send_at(src, dst, payload.size(), records, send_time);
+    Event ev;
+    ev.time = receipt.arrival;
+    ev.src = src;
+    ev.dst = dst;
+    ev.payload = std::move(payload);
+    push_event(std::move(ev));
+    return;
+  }
+  const std::uint64_t channel = channel_key(src, dst);
+  const std::uint64_t tseq = next_tseq_[channel]++;
+  Pending& entry = unacked_[channel][tseq];
+  entry.payload = std::move(payload);
+  entry.records = records;
+  transmit(src, dst, tseq, send_time);
+}
+
+void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq,
+                           double deferred_send_time) {
   const FaultConfig& F = fabric_.config().fault;
   const std::uint64_t channel = channel_key(src, dst);
   Pending& entry = unacked_[channel][tseq];
   entry.attempt += 1;
   const bool final_attempt = entry.attempt >= F.max_attempts;
   const bool exempt = final_attempt && F.reliable_tail;
+  const bool deferred = deferred_send_time >= 0.0;
   const auto receipt =
-      fabric_.post_send(src, dst, entry.payload.size() + kTransportHeaderBytes,
-                        entry.records, exempt);
+      deferred
+          ? fabric_.post_send_at(src, dst,
+                                 entry.payload.size() + kTransportHeaderBytes,
+                                 entry.records, deferred_send_time, exempt)
+          : fabric_.post_send(src, dst,
+                              entry.payload.size() + kTransportHeaderBytes,
+                              entry.records, exempt);
   if (receipt.dropped) {
     if (final_attempt) {
       // reliable_tail is off and the last try was lost: no further recovery
@@ -129,8 +196,12 @@ void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq) {
   } else {
     Event timer;
     timer.kind = EventKind::kTimer;
-    timer.time = fabric_.now(src) +
-                 F.rto_seconds * std::pow(F.rto_backoff, entry.attempt - 1);
+    // Sequentially the clock sits at the send time here; a deferred replay
+    // must use the recorded send time (the live clock has already absorbed
+    // the whole lane) to arm the timer identically.
+    const double base = deferred ? deferred_send_time : fabric_.now(src);
+    timer.time =
+        base + F.rto_seconds * std::pow(F.rto_backoff, entry.attempt - 1);
     timer.src = dst;  // peer the pending message targets
     timer.dst = src;  // rank whose timer fires
     timer.tseq = tseq;
@@ -202,15 +273,58 @@ void EventEngine::dispatch(Event ev) {
   }
 }
 
+void EventEngine::fan_out(const std::vector<Rank>& ranks, FanPhase phase) {
+  const auto invoke = [&](EventContext& ctx) {
+    Process& p = *processes_[static_cast<std::size_t>(ctx.rank_)];
+    if (phase == FanPhase::kStart) {
+      p.start(ctx);
+    } else {
+      p.idle(ctx);
+    }
+  };
+  if (backend_.mode() == ExecMode::kSequential) {
+    for (Rank r : ranks) {
+      EventContext ctx(*this, r);
+      invoke(ctx);
+    }
+    return;
+  }
+  std::vector<EventContext> ctxs;
+  ctxs.reserve(ranks.size());
+  for (Rank r : ranks) ctxs.push_back(EventContext(*this, r, true));
+  // Callbacks run concurrently against their lanes (the shared fabric is
+  // only read); the rank-ordered merge below restores the sequential global
+  // order of sequence numbers, transport state and trace output.
+  backend_.parallel_for(ctxs.size(),
+                        [&](std::size_t i) { invoke(ctxs[i]); });
+  for (EventContext& ctx : ctxs) merge_deferred(ctx);
+}
+
+void EventEngine::merge_deferred(EventContext& ctx) {
+  fabric_.absorb_lane(ctx.lane_);
+  for (EventContext::DeferredOp& op : ctx.ops_) {
+    if (op.kind == EventContext::DeferredOp::Kind::kRound) {
+      fabric_.set_round(ctx.rank_, op.round);
+      continue;
+    }
+    enqueue_at(ctx.rank_, op.dst, std::move(op.payload), op.records,
+               op.send_time);
+  }
+  ctx.ops_.clear();
+}
+
 RunResult EventEngine::run() {
   PMC_REQUIRE(!ran_, "EventEngine::run() may only be called once");
   PMC_REQUIRE(!processes_.empty(), "no processes registered");
   ran_ = true;
-  Timer wall;
+  WallTimer wall;
 
-  for (Rank r = 0; r < num_ranks(); ++r) {
-    EventContext ctx(*this, r);
-    processes_[static_cast<std::size_t>(r)]->start(ctx);
+  {
+    std::vector<Rank> all(static_cast<std::size_t>(num_ranks()));
+    for (Rank r = 0; r < num_ranks(); ++r) {
+      all[static_cast<std::size_t>(r)] = r;
+    }
+    fan_out(all, FanPhase::kStart);
   }
 
   while (true) {
@@ -237,12 +351,11 @@ RunResult EventEngine::run() {
     for (const auto& p : processes_) {
       if (p->done()) ++done_before;
     }
+    std::vector<Rank> stuck;
     for (Rank r = 0; r < num_ranks(); ++r) {
-      if (!processes_[static_cast<std::size_t>(r)]->done()) {
-        EventContext ctx(*this, r);
-        processes_[static_cast<std::size_t>(r)]->idle(ctx);
-      }
+      if (!processes_[static_cast<std::size_t>(r)]->done()) stuck.push_back(r);
     }
+    fan_out(stuck, FanPhase::kIdle);
     Rank done_after = 0;
     for (const auto& p : processes_) {
       if (p->done()) ++done_after;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "runtime/comm_stats.hpp"
+#include "runtime/exec/backend.hpp"
 #include "runtime/fabric.hpp"
 #include "runtime/machine_model.hpp"
 #include "support/types.hpp"
@@ -45,6 +46,13 @@ namespace pmc {
 class EventEngine;
 
 /// Per-rank API surface handed to Process callbacks.
+///
+/// During the engine's parallel fan-outs (start and idle, with a threaded
+/// backend) the context runs *deferred*: charges go to a private fabric lane
+/// and sends/round labels are recorded in program order, then replayed
+/// through the fabric in rank order afterwards — so the event schedule is
+/// bit-identical to sequential execution. Event dispatch (handle) always
+/// uses a direct context.
 class EventContext {
  public:
   [[nodiscard]] Rank rank() const noexcept { return rank_; }
@@ -67,9 +75,26 @@ class EventContext {
 
  private:
   friend class EventEngine;
-  EventContext(EventEngine& engine, Rank rank) : engine_(&engine), rank_(rank) {}
+
+  /// One recorded deferred action; sends and round labels must replay in
+  /// their original program order (a round label attributes the sends that
+  /// follow it).
+  struct DeferredOp {
+    enum class Kind : std::uint8_t { kSend, kRound } kind = Kind::kSend;
+    Rank dst = kNoRank;
+    std::vector<std::byte> payload;
+    std::int64_t records = 0;
+    double send_time = 0.0;
+    int round = 0;
+  };
+
+  EventContext(EventEngine& engine, Rank rank, bool deferred = false);
+
   EventEngine* engine_;
   Rank rank_;
+  bool deferred_ = false;
+  CommFabric::Lane lane_;         // deferred execution only
+  std::vector<DeferredOp> ops_;   // deferred execution only
 };
 
 /// A rank's algorithm state machine.
@@ -107,7 +132,12 @@ class EventEngine {
   /// final try escalating to a fault-exempt path when fault.reliable_tail).
   /// With faults disabled the transport is absent and behavior is
   /// bit-identical to the pre-fault engine.
-  EventEngine(MachineModel model, FabricConfig config);
+  ///
+  /// `exec` selects the execution backend: with exec.threads > 1 the
+  /// per-rank start() and idle() fan-outs run on a work-stealing pool
+  /// (deferred contexts, rank-ordered merge — bit-identical to sequential);
+  /// event dispatch itself stays sequential (global time order).
+  EventEngine(MachineModel model, FabricConfig config, ExecConfig exec = {});
 
   /// `jitter_seconds` > 0 adds a deterministic pseudo-random delay in
   /// [0, jitter_seconds) to each message arrival (per-message, derived from
@@ -175,14 +205,30 @@ class EventEngine {
 
   void enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
                std::int64_t records);
+  /// Deferred-replay variant of enqueue(): the sender-side clock costs were
+  /// already applied to the rank's lane, `send_time` is the lane's recorded
+  /// value (fabric pricing goes through CommFabric::post_send_at).
+  void enqueue_at(Rank src, Rank dst, std::vector<std::byte> payload,
+                  std::int64_t records, double send_time);
   void push_event(Event ev);
   /// Sends (or re-sends) unacked_[channel(src,dst)][tseq]; schedules the
-  /// next retry timer unless this was the final attempt.
-  void transmit(Rank src, Rank dst, std::uint64_t tseq);
+  /// next retry timer unless this was the final attempt. `deferred_send_time`
+  /// set means this is a lane replay: the message is priced at that recorded
+  /// time instead of reading (and advancing) the live clock.
+  void transmit(Rank src, Rank dst, std::uint64_t tseq,
+                double deferred_send_time = -1.0);
   void send_ack(Rank from, Rank to, std::uint64_t tseq);
   void dispatch(Event ev);
+  /// Runs start() (phase == kStart) or idle() over `ranks`: inline and in
+  /// order with a sequential backend, concurrently with deferred contexts
+  /// merged in rank order with a threaded one.
+  enum class FanPhase : std::uint8_t { kStart, kIdle };
+  void fan_out(const std::vector<Rank>& ranks, FanPhase phase);
+  /// Absorbs a deferred context's lane and replays its recorded ops.
+  void merge_deferred(EventContext& ctx);
 
   CommFabric fabric_;
+  ExecutionBackend backend_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t events_posted_ = 0;

@@ -1,0 +1,81 @@
+// Work-stealing thread pool backing the threaded execution backend.
+//
+// The pool runs one job at a time: parallel_for(n, fn) scatters the index
+// range in contiguous blocks over the workers' deques and blocks until every
+// index has executed. A worker drains its own deque from the front and, when
+// empty, steals from the back of the other workers' deques — so an uneven
+// rank workload (one huge partition block, many small ones) still keeps all
+// workers busy.
+//
+// The pool makes NO ordering promises across indices; determinism is the
+// caller's job (the engines defer all shared-state mutation into per-rank
+// lanes and merge them in rank order afterwards — see runtime/fabric.hpp).
+// Queue entries carry the job generation so a worker that observes a stale
+// snapshot can never execute a new job's index against an old callable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pmc {
+
+/// Fixed-size work-stealing pool; workers live for the pool's lifetime.
+class ThreadPool {
+ public:
+  /// Spawns `workers` >= 1 worker threads.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workers() const noexcept {
+    return static_cast<int>(slots_.size());
+  }
+
+  /// Runs fn(i) for every i in [0, n); blocks until all complete. Each index
+  /// runs exactly once, on some worker thread. If invocations throw, the
+  /// exception of the lowest-numbered throwing index is rethrown after the
+  /// loop drains (matching what a sequential loop would have surfaced
+  /// first); the others are discarded.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  /// One worker's deque. Entries are (job generation, index); a mismatched
+  /// generation means the entry belongs to a job this worker has not yet
+  /// observed, and must be left alone.
+  struct Slot {
+    std::mutex m;
+    std::deque<std::pair<std::uint64_t, std::size_t>> q;
+  };
+
+  void worker_loop(std::size_t self);
+  bool take(std::size_t self, std::uint64_t job, std::size_t& index);
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> threads_;
+
+  /// Serializes parallel_for callers (one job at a time).
+  std::mutex run_m_;
+
+  std::mutex job_m_;
+  std::condition_variable job_cv_;   ///< Workers wait here for a new job.
+  std::condition_variable done_cv_;  ///< parallel_for waits for completion.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t job_id_ = 0;
+  std::size_t outstanding_ = 0;
+  std::size_t failed_index_ = 0;
+  std::exception_ptr failure_;
+  bool stop_ = false;
+};
+
+}  // namespace pmc

@@ -102,8 +102,6 @@ CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
                                               std::size_t payload_bytes,
                                               std::int64_t records,
                                               bool fault_exempt) {
-  PMC_REQUIRE(dst >= 0 && dst < num_ranks(), "send to invalid rank " << dst);
-  PMC_REQUIRE(dst != src, "send to self (rank " << src << ")");
   const FaultConfig& F = config_.fault;
   const bool faulty = F.enabled() && !fault_exempt;
   if (faulty) {
@@ -115,7 +113,19 @@ CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
   // Sender pays the per-message software overhead (LogP "o") before the
   // message enters the network — the cost message bundling amortizes.
   clocks_[static_cast<std::size_t>(src)] += model_.send_overhead;
-  const double send_time = clocks_[static_cast<std::size_t>(src)];
+  return post_send_at(src, dst, payload_bytes, records,
+                      clocks_[static_cast<std::size_t>(src)], fault_exempt);
+}
+
+CommFabric::SendReceipt CommFabric::post_send_at(Rank src, Rank dst,
+                                                 std::size_t payload_bytes,
+                                                 std::int64_t records,
+                                                 double send_time,
+                                                 bool fault_exempt) {
+  PMC_REQUIRE(dst >= 0 && dst < num_ranks(), "send to invalid rank " << dst);
+  PMC_REQUIRE(dst != src, "send to self (rank " << src << ")");
+  const FaultConfig& F = config_.fault;
+  const bool faulty = F.enabled() && !fault_exempt;
   double arrival =
       send_time + model_.message_seconds(static_cast<double>(payload_bytes));
   if (config_.jitter_seconds > 0.0) {
@@ -180,6 +190,60 @@ CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
   receipt.arrival = arrival;
   receipt.seq = send_seq_++;
   return receipt;
+}
+
+CommFabric::Lane::Lane(const CommFabric& fabric, Rank r)
+    : fabric_(&fabric),
+      rank_(r),
+      clock_(fabric.now(r)),
+      compute_seconds_(fabric.compute_seconds_[static_cast<std::size_t>(r)]),
+      interior_seconds_(
+          fabric.breakdown().interior_seconds[static_cast<std::size_t>(r)]),
+      boundary_seconds_(
+          fabric.breakdown().boundary_seconds[static_cast<std::size_t>(r)]),
+      other_seconds_(
+          fabric.breakdown().other_seconds[static_cast<std::size_t>(r)]),
+      phase_(fabric.trace_.phase(r)) {}
+
+void CommFabric::Lane::charge(double work_units) {
+  charge(work_units, phase_);
+}
+
+void CommFabric::Lane::charge(double work_units, WorkPhase phase) {
+  const double seconds = fabric_->model_.compute_seconds(work_units);
+  clock_ += seconds;
+  compute_seconds_ += seconds;
+  switch (phase) {
+    case WorkPhase::kInterior:
+      interior_seconds_ += seconds;
+      break;
+    case WorkPhase::kBoundary:
+      boundary_seconds_ += seconds;
+      break;
+    case WorkPhase::kOther:
+      other_seconds_ += seconds;
+      break;
+  }
+}
+
+double CommFabric::Lane::begin_send(bool fault_exempt) {
+  // Same two clock operations post_send() applies to the live clock, in the
+  // same order, so the replica reproduces the send time bit-for-bit.
+  if (fabric_->config_.fault.enabled() && !fault_exempt) {
+    clock_ = std::max(clock_, fabric_->stall_clear(rank_, clock_));
+  }
+  clock_ += fabric_->model_.send_overhead;
+  return clock_;
+}
+
+void CommFabric::absorb_lane(const Lane& lane) {
+  PMC_REQUIRE(lane.fabric_ == this, "absorbing a lane from another fabric");
+  const auto i = static_cast<std::size_t>(lane.rank_);
+  clocks_[i] = lane.clock_;
+  compute_seconds_[i] = lane.compute_seconds_;
+  trace_.absorb_rank_compute(lane.rank_, lane.interior_seconds_,
+                             lane.boundary_seconds_, lane.other_seconds_,
+                             lane.phase_);
 }
 
 void CommFabric::complete_collective(double horizon) {

@@ -151,6 +151,18 @@ class CommFabric {
   SendReceipt post_send(Rank src, Rank dst, std::size_t payload_bytes,
                         std::int64_t records, bool fault_exempt = false);
 
+  /// Deferred-execution variant of post_send(): prices and accounts a
+  /// message whose sender-side costs (stall wait + software overhead) were
+  /// already applied to a Lane replica of src's clock — `send_time` is the
+  /// replica's value at the send point. Unlike post_send() this never reads
+  /// or moves src's live clock, so replaying a parallel phase's recorded
+  /// sends in rank order reproduces the sequential schedule (sequence
+  /// numbers, jitter and fault verdicts, channel FIFO state, trace events)
+  /// bit-for-bit.
+  SendReceipt post_send_at(Rank src, Rank dst, std::size_t payload_bytes,
+                           std::int64_t records, double send_time,
+                           bool fault_exempt = false);
+
   // ---- collectives ---------------------------------------------------------
 
   /// Completes a barrier/allreduce: every clock advances to `horizon` (the
@@ -183,6 +195,58 @@ class CommFabric {
   /// Earliest time >= t at which rank r's network is outside every stall
   /// window (identity when no window covers t).
   [[nodiscard]] double stall_clear(Rank r, double t) const;
+
+  // ---- deferred (threaded) execution --------------------------------------
+
+  /// Private per-rank accounting replica for a parallel phase. While rank
+  /// callbacks run concurrently, each rank charges compute and pays
+  /// sender-side message costs against its own Lane — applying the exact
+  /// operation sequence the live fabric would (same additions, same order,
+  /// so floating point agrees bit-for-bit) while only *reading* shared
+  /// fabric state (model, config, stall windows). At the barrier the engine
+  /// absorbs every lane and replays the recorded sends in rank order, which
+  /// restores the sequential global order of the shared counters
+  /// (send_seq_, channel FIFO, CommStats, trace sink).
+  class Lane {
+   public:
+    Lane() = default;
+
+    [[nodiscard]] Rank rank() const noexcept { return rank_; }
+    [[nodiscard]] double now() const noexcept { return clock_; }
+
+    /// Mirrors CommFabric::charge(r, work_units[, phase]).
+    void charge(double work_units);
+    void charge(double work_units, WorkPhase phase);
+
+    /// Mirrors CommFabric::set_phase (absorbed into the trace at merge).
+    void set_phase(WorkPhase phase) noexcept { phase_ = phase; }
+
+    /// Applies the sender-side cost of one message (stall wait unless the
+    /// send is fault-exempt, then the software overhead) to the replica
+    /// clock and returns the send time to record for post_send_at().
+    double begin_send(bool fault_exempt = false);
+
+   private:
+    friend class CommFabric;
+    Lane(const CommFabric& fabric, Rank r);
+
+    const CommFabric* fabric_ = nullptr;
+    Rank rank_ = -1;
+    double clock_ = 0.0;
+    double compute_seconds_ = 0.0;
+    double interior_seconds_ = 0.0;
+    double boundary_seconds_ = 0.0;
+    double other_seconds_ = 0.0;
+    WorkPhase phase_ = WorkPhase::kOther;
+  };
+
+  /// Snapshot of rank r's accounting (clock, charged compute, phase timers,
+  /// current phase label) to run a deferred rank callback against.
+  [[nodiscard]] Lane make_lane(Rank r) const { return Lane(*this, r); }
+
+  /// Installs a lane's final accounting back into the fabric (assignment,
+  /// not accumulation — the lane already contains the snapshot baseline).
+  void absorb_lane(const Lane& lane);
 
   // ---- results -------------------------------------------------------------
 

@@ -57,6 +57,17 @@ void CommTrace::set_phase(Rank r, WorkPhase phase) noexcept {
   rank_phase_[static_cast<std::size_t>(r)] = phase;
 }
 
+void CommTrace::absorb_rank_compute(Rank r, double interior_seconds,
+                                    double boundary_seconds,
+                                    double other_seconds,
+                                    WorkPhase phase) noexcept {
+  const auto i = static_cast<std::size_t>(r);
+  breakdown_.interior_seconds[i] = interior_seconds;
+  breakdown_.boundary_seconds[i] = boundary_seconds;
+  breakdown_.other_seconds[i] = other_seconds;
+  rank_phase_[i] = phase;
+}
+
 void CommTrace::on_compute(Rank r, double seconds) {
   on_compute(r, seconds, rank_phase_[static_cast<std::size_t>(r)]);
 }

@@ -64,6 +64,16 @@ class CommTrace {
     return rank_round_[static_cast<std::size_t>(r)];
   }
 
+  [[nodiscard]] WorkPhase phase(Rank r) const noexcept {
+    return rank_phase_[static_cast<std::size_t>(r)];
+  }
+
+  /// Installs rank r's phase timers and phase label from a deferred lane
+  /// (assignment — the lane carried the snapshot baseline forward).
+  void absorb_rank_compute(Rank r, double interior_seconds,
+                           double boundary_seconds, double other_seconds,
+                           WorkPhase phase) noexcept;
+
   /// Charged compute on rank r, attributed to r's current phase.
   void on_compute(Rank r, double seconds);
   /// Charged compute with an explicit one-shot phase.

@@ -1,8 +1,10 @@
 #include "support/options.hpp"
 
 #include <charconv>
+#include <cstdlib>
 #include <sstream>
 #include <string_view>
+#include <thread>
 
 #include "support/error.hpp"
 
@@ -98,6 +100,38 @@ double Options::get_double(const std::string& name) const {
 
 bool Options::get_flag(const std::string& name) const {
   return get(name) == "true";
+}
+
+int max_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return 4 * static_cast<int>(hw == 0 ? 1U : hw);
+}
+
+int parse_thread_count(const std::string& text, const std::string& what) {
+  const std::string_view sv = strip_plus(text);
+  int out = 0;
+  const auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), out);
+  PMC_REQUIRE(ec != std::errc::result_out_of_range,
+              what << " is out of range: '" << text << "'");
+  PMC_REQUIRE(ec == std::errc{} && ptr == sv.data() + sv.size(),
+              what << " expects an integer, got '" << text << "'");
+  PMC_REQUIRE(out >= 1,
+              what << " must be at least 1 thread, got '" << text << "'");
+  PMC_REQUIRE(out <= max_thread_count(),
+              what << " exceeds 4x the hardware concurrency (max "
+                   << max_thread_count() << "), got '" << text << "'");
+  return out;
+}
+
+int Options::get_threads(const std::string& name) const {
+  if (supplied(name)) return parse_thread_count(get(name), "option --" + name);
+  if (const char* env = std::getenv("PMC_THREADS");
+      env != nullptr && *env != '\0') {
+    return parse_thread_count(env, "PMC_THREADS");
+  }
+  const std::string& fallback = get(name);
+  if (fallback.empty()) return 1;
+  return parse_thread_count(fallback, "option --" + name);
 }
 
 bool Options::supplied(const std::string& name) const {

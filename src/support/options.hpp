@@ -31,6 +31,12 @@ class Options {
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;
 
+  /// Resolves the execution-backend thread count: the explicitly supplied
+  /// option value wins, else the PMC_THREADS environment variable, else the
+  /// declared default (1 when the default is empty). All three sources go
+  /// through parse_thread_count's strict validation.
+  [[nodiscard]] int get_threads(const std::string& name = "threads") const;
+
   /// True if the option was explicitly supplied on the command line.
   [[nodiscard]] bool supplied(const std::string& name) const;
 
@@ -46,5 +52,16 @@ class Options {
   std::map<std::string, Spec> specs_;
   std::map<std::string, std::string> values_;
 };
+
+/// Largest thread count the CLI accepts: 4x the advertised hardware
+/// concurrency (modest oversubscription still helps latency-bound runs),
+/// treating an unknown concurrency as 1.
+[[nodiscard]] int max_thread_count() noexcept;
+
+/// Strict thread-count parser shared by --threads and PMC_THREADS (`what`
+/// names the source in errors). Rejects non-integers, zero/negative counts
+/// and counts above max_thread_count() with distinct messages.
+[[nodiscard]] int parse_thread_count(const std::string& text,
+                                     const std::string& what);
 
 }  // namespace pmc

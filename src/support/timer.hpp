@@ -1,14 +1,21 @@
-// Wall-clock timing utilities for benchmarks and instrumentation.
+// Timing utilities for benchmarks and instrumentation.
+//
+// This header deliberately exposes a *wall-clock* stopwatch only. The other
+// time axis in this codebase — the simulation's modelled seconds
+// (RunResult::sim_seconds, CommFabric clocks) — never passes through a
+// stopwatch; keeping the types apart stops a bench from labelling modelled
+// time as measured time (or vice versa). RunResult carries both:
+// sim_seconds (modelled) and wall_seconds (measured with WallTimer).
 #pragma once
 
 #include <chrono>
 
 namespace pmc {
 
-/// Monotonic wall-clock stopwatch.
-class Timer {
+/// Monotonic wall-clock stopwatch (real elapsed time, never modelled time).
+class WallTimer {
  public:
-  Timer() noexcept : start_(Clock::now()) {}
+  WallTimer() noexcept : start_(Clock::now()) {}
 
   /// Restarts the stopwatch.
   void reset() noexcept { start_ = Clock::now(); }

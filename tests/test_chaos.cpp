@@ -13,9 +13,20 @@
 #include <vector>
 
 #include "core/pmc.hpp"
+#include "runtime/exec/backend.hpp"
 
 namespace pmc {
 namespace {
+
+/// The chaos suites honor PMC_THREADS (the TSan CI stage sets it to 4), so
+/// every fault-injection scenario here also runs its rank callbacks on the
+/// execution backend's pool — the determinism assertions then double as
+/// threaded-vs-sequential equivalence checks under the race detector.
+template <typename Opt>
+Opt with_env_exec(Opt opt) {
+  opt.exec = exec_config_from_env();
+  return opt;
+}
 
 // The sweep the acceptance bar asks for: drop rates up to 5%, duplication
 // up to 2%, plus one aggressive point well beyond it.
@@ -59,7 +70,7 @@ class MatchingChaos : public ::testing::Test {
       : g_(grid_2d(24, 24, WeightKind::kUniformRandom, 5)),
         p_(grid_2d_partition(24, 24, 2, 2)),
         dist_(DistGraph::build(g_, p_)),
-        baseline_(match_distributed(dist_)) {}
+        baseline_(match_distributed(dist_, with_env_exec(DistMatchingOptions{}))) {}
 
   Graph g_;
   Partition p_;
@@ -72,7 +83,7 @@ TEST_F(MatchingChaos, SweepRecoversTheFaultFreeMatching) {
   for (const FaultPoint& pt : kSweep) {
     SCOPED_TRACE("drop=" + std::to_string(pt.drop) +
                  " dup=" + std::to_string(pt.dup));
-    DistMatchingOptions opt;
+    auto opt = with_env_exec(DistMatchingOptions{});
     opt.faults = faults_at(pt);
     const auto r = match_distributed(dist_, opt);
 
@@ -104,7 +115,7 @@ TEST_F(MatchingChaos, SweepRecoversTheFaultFreeMatching) {
 }
 
 TEST_F(MatchingChaos, SurvivesDelaysAndStallWindows) {
-  DistMatchingOptions opt;
+  auto opt = with_env_exec(DistMatchingOptions{});
   opt.faults.delay_rate = 0.5;
   opt.faults.max_extra_delay_seconds = 2e-5;
   opt.faults.drop_rate = 0.02;
@@ -117,7 +128,7 @@ TEST_F(MatchingChaos, SurvivesDelaysAndStallWindows) {
 }
 
 TEST_F(MatchingChaos, UnbundledModeRecoversToo) {
-  DistMatchingOptions clean;
+  auto clean = with_env_exec(DistMatchingOptions{});
   clean.bundled = false;
   const auto base = match_distributed(dist_, clean);
   DistMatchingOptions opt = clean;
@@ -128,7 +139,7 @@ TEST_F(MatchingChaos, UnbundledModeRecoversToo) {
 }
 
 TEST_F(MatchingChaos, RunsAreBitIdenticalForAFixedSeed) {
-  DistMatchingOptions opt;
+  auto opt = with_env_exec(DistMatchingOptions{});
   opt.faults = faults_at({0.20, 0.10, 99});
   opt.jitter_seconds = 2e-6;
   opt.jitter_seed = 7;
@@ -147,7 +158,7 @@ TEST_F(MatchingChaos, RunsAreBitIdenticalForAFixedSeed) {
 TEST_F(MatchingChaos, ReliableTailSurvivesTotalLoss) {
   // Every regular attempt is dropped; only the fault-exempt final attempt
   // of each message gets through. The matching must still be exact.
-  DistMatchingOptions opt;
+  auto opt = with_env_exec(DistMatchingOptions{});
   opt.faults.drop_rate = 1.0;
   opt.faults.seed = 41;
   opt.faults.max_attempts = 3;
@@ -160,7 +171,7 @@ TEST_F(MatchingChaos, ReliableTailSurvivesTotalLoss) {
 }
 
 TEST_F(MatchingChaos, ExhaustedRetryBudgetIsAHardError) {
-  DistMatchingOptions opt;
+  auto opt = with_env_exec(DistMatchingOptions{});
   opt.faults.drop_rate = 1.0;
   opt.faults.seed = 41;
   opt.faults.max_attempts = 2;
@@ -192,7 +203,7 @@ TEST_F(ColoringChaos, SweepStaysConflictFreeAcrossAllModes) {
       SCOPED_TRACE("comm_mode=" + std::to_string(int(preset.comm_mode)) +
                    " drop=" + std::to_string(pt.drop) +
                    " dup=" + std::to_string(pt.dup));
-      DistColoringOptions opt = preset;
+      auto opt = with_env_exec(preset);
       opt.faults = faults_at(pt);
       const auto r = color_distributed(dist_, opt);
 
@@ -216,7 +227,7 @@ TEST_F(ColoringChaos, SweepStaysConflictFreeAcrossAllModes) {
 }
 
 TEST_F(ColoringChaos, SyncSuperstepsSurviveFaultsToo) {
-  DistColoringOptions opt = DistColoringOptions::improved();
+  auto opt = with_env_exec(DistColoringOptions::improved());
   opt.superstep_mode = SuperstepMode::kSync;
   opt.faults = faults_at({0.05, 0.02, 17});
   const auto r = color_distributed(dist_, opt);
@@ -226,7 +237,7 @@ TEST_F(ColoringChaos, SyncSuperstepsSurviveFaultsToo) {
 }
 
 TEST_F(ColoringChaos, RunsAreBitIdenticalForAFixedSeed) {
-  DistColoringOptions opt = DistColoringOptions::improved();
+  auto opt = with_env_exec(DistColoringOptions::improved());
   opt.faults = faults_at({0.05, 0.02, 77});
   const auto a = color_distributed(dist_, opt);
   const auto b = color_distributed(dist_, opt);
@@ -239,7 +250,7 @@ TEST_F(ColoringChaos, DroppedAnnouncementsForceRepairReentry) {
   // At a 20% drop rate on this boundary-heavy partition some colored
   // announcements are certain to be lost, so the sender-side re-entry path
   // must fire and the result must still verify.
-  DistColoringOptions opt = DistColoringOptions::improved();
+  auto opt = with_env_exec(DistColoringOptions::improved());
   opt.faults = faults_at({0.20, 0.00, 23});
   const auto r = color_distributed(dist_, opt);
   EXPECT_GT(r.fault_reentries, 0);
@@ -255,7 +266,7 @@ TEST(Distance2Chaos, SweepStaysProper) {
   for (const FaultPoint& pt : kSweep) {
     SCOPED_TRACE("drop=" + std::to_string(pt.drop) +
                  " dup=" + std::to_string(pt.dup));
-    DistColoringOptions opt;
+    auto opt = with_env_exec(DistColoringOptions{});
     opt.faults = faults_at(pt);
     const auto r = color_distance2_distributed_native(g, p, opt);
     std::string why;
@@ -267,7 +278,7 @@ TEST(Distance2Chaos, SweepStaysProper) {
 TEST(Distance2Chaos, RunsAreBitIdenticalForAFixedSeed) {
   const Graph g = grid_2d(16, 16, WeightKind::kUnit, 3);
   const Partition p = grid_2d_partition(16, 16, 2, 2);
-  DistColoringOptions opt;
+  auto opt = with_env_exec(DistColoringOptions{});
   opt.faults = faults_at({0.10, 0.02, 55});
   const auto a = color_distance2_distributed_native(g, p, opt);
   const auto b = color_distance2_distributed_native(g, p, opt);

@@ -8,11 +8,37 @@
 // in the same change and say why.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "core/pmc.hpp"
 #include "partition/simple.hpp"
 
 namespace pmc {
 namespace {
+
+/// Thread counts every pinned scenario must reproduce byte-identically at.
+/// 1 runs the sequential backend; 2 and 4 run the work-stealing pool (4
+/// oversubscribes the CI box on purpose — determinism may not depend on the
+/// scheduler giving every worker a core).
+constexpr int kThreadSweep[] = {1, 2, 4};
+
+/// Hexfloat round-trips doubles exactly, so two fingerprints compare equal
+/// iff every field is bit-identical.
+std::string fingerprint(const RunResult& run, int rounds) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << run.sim_seconds << '|' << run.comm.messages << '|' << run.comm.bytes
+     << '|' << run.comm.records << '|' << run.comm.collectives << '|'
+     << rounds;
+  os << '|' << run.load.min_seconds << '|' << run.load.max_seconds << '|'
+     << run.load.mean_seconds;
+  const FaultStats f = run.breakdown.total_faults();
+  os << '|' << f.drops << '|' << f.duplicates << '|' << f.retries << '|'
+     << f.backoff_seconds;
+  return os.str();
+}
 
 struct Pinned {
   double sim_seconds;
@@ -172,6 +198,186 @@ TEST(DeterminismRegression, Distance2ColoringScenario) {
   const auto rd = color_distance2_distributed_native(g, p, {});
   expect_pinned(rd.run, rd.rounds,
                 {0.00011627519999999997, 25, 3272, 206, 6, 3});
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: every pinned scenario above must reproduce
+// byte-identically when the rank callbacks run on the execution backend's
+// thread pool. threads == 1 is the sequential baseline the pins above
+// already check, so equality across the sweep keeps all pins in force at
+// every thread count.
+
+TEST(ThreadInvariance, DistributedMatchingScenarios) {
+  const Graph g = grid_2d(48, 48, WeightKind::kUniformRandom, 61);
+  Rank pr = 0, pc = 0;
+  factor_processor_grid(8, pr, pc);
+  const Partition p = grid_2d_partition(48, 48, pr, pc);
+  const DistGraph dist = DistGraph::build(g, p);
+
+  DistMatchingOptions scenarios[3];
+  scenarios[1].bundled = false;
+  scenarios[2].faults.drop_rate = 0.05;
+  scenarios[2].faults.duplicate_rate = 0.02;
+  scenarios[2].faults.seed = 14;
+  scenarios[2].jitter_seconds = 2e-6;
+  scenarios[2].jitter_seed = 7;
+  scenarios[2].faults.delay_rate = 0.25;
+  scenarios[2].faults.max_extra_delay_seconds = 1e-5;
+
+  for (auto& opt : scenarios) {
+    std::string base;
+    std::vector<VertexId> base_mate;
+    for (const int threads : kThreadSweep) {
+      opt.exec.threads = threads;
+      const auto r = match_distributed(dist, opt);
+      const std::string fp = fingerprint(r.run, r.max_activations);
+      if (threads == 1) {
+        base = fp;
+        base_mate = r.matching.mate;
+      } else {
+        EXPECT_EQ(fp, base) << "threads=" << threads;
+        EXPECT_EQ(r.matching.mate, base_mate) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadInvariance, DistributedColoringScenarios) {
+  const Graph g = circuit_like(2000, 4000, 6, WeightKind::kUnit, 62);
+  const Partition p =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(3));
+  const DistGraph dist = DistGraph::build(g, p);
+
+  // Async supersteps (the presets' default) fall back to sequential compute;
+  // sync supersteps exercise the real deferred-lane merge. Both must be
+  // invariant, with and without faults.
+  DistColoringOptions scenarios[4] = {
+      DistColoringOptions::improved(), DistColoringOptions::improved(),
+      DistColoringOptions::fiab(), DistColoringOptions::fiac()};
+  scenarios[1].superstep_mode = SuperstepMode::kSync;
+  scenarios[1].faults.drop_rate = 0.05;
+  scenarios[1].faults.duplicate_rate = 0.02;
+  scenarios[1].faults.seed = 14;
+  scenarios[2].superstep_mode = SuperstepMode::kSync;
+  scenarios[3].superstep_mode = SuperstepMode::kSync;
+
+  for (auto& opt : scenarios) {
+    std::string base;
+    std::vector<Color> base_color;
+    for (const int threads : kThreadSweep) {
+      opt.exec.threads = threads;
+      const auto r = color_distributed(dist, opt);
+      std::ostringstream os;
+      os << fingerprint(r.run, r.rounds) << '#' << r.total_supersteps << '#'
+         << r.fault_reentries;
+      for (const EdgeId c : r.conflicts_per_round) os << ',' << c;
+      if (threads == 1) {
+        base = os.str();
+        base_color = r.coloring.color;
+      } else {
+        EXPECT_EQ(os.str(), base) << "threads=" << threads;
+        EXPECT_EQ(r.coloring.color, base_color) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadInvariance, Distance2Scenarios) {
+  const Graph g = grid_2d(20, 20, WeightKind::kUnit, 63);
+  const Partition p = grid_2d_partition(20, 20, 2, 2);
+
+  DistColoringOptions scenarios[2];
+  scenarios[0].superstep_mode = SuperstepMode::kSync;
+  scenarios[1].superstep_mode = SuperstepMode::kSync;
+  scenarios[1].faults.drop_rate = 0.20;
+  scenarios[1].faults.duplicate_rate = 0.10;
+  scenarios[1].faults.seed = 15;
+
+  for (auto& opt : scenarios) {
+    std::string base;
+    std::vector<Color> base_color;
+    for (const int threads : kThreadSweep) {
+      opt.exec.threads = threads;
+      const auto r = color_distance2_distributed_native(g, p, opt);
+      std::ostringstream os;
+      os << fingerprint(r.run, r.rounds) << '#' << r.fault_reentries;
+      if (threads == 1) {
+        base = os.str();
+        base_color = r.coloring.color;
+      } else {
+        EXPECT_EQ(os.str(), base) << "threads=" << threads;
+        EXPECT_EQ(r.coloring.color, base_color) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadInvariance, JonesPlassmannAndVerifiers) {
+  const Graph g = circuit_like(1500, 3000, 5, WeightKind::kUnit, 44);
+  const Partition p =
+      multilevel_partition(g, 6, MultilevelConfig::metis_like(2));
+  const DistGraph dist = DistGraph::build(g, p);
+
+  JonesPlassmannOptions jp;
+  std::string jp_base, vc_base, vm_base;
+  std::vector<Color> jp_color;
+  const Matching m = match_distributed(dist).matching;
+  for (const int threads : kThreadSweep) {
+    jp.exec.threads = threads;
+    const auto r = color_jones_plassmann(dist, jp);
+    const std::string fp = fingerprint(r.run, r.rounds);
+    const auto vc = verify_coloring_distributed(
+        dist, r.coloring, MachineModel::blue_gene_p(), ExecConfig{threads});
+    EXPECT_EQ(vc.violations, 0);
+    const std::string vcfp = fingerprint(vc.run, 0);
+    const auto vm = verify_matching_distributed(
+        dist, m, MachineModel::blue_gene_p(), ExecConfig{threads});
+    EXPECT_EQ(vm.violations, 0);
+    const std::string vmfp = fingerprint(vm.run, 0);
+    if (threads == 1) {
+      jp_base = fp;
+      jp_color = r.coloring.color;
+      vc_base = vcfp;
+      vm_base = vmfp;
+    } else {
+      EXPECT_EQ(fp, jp_base) << "threads=" << threads;
+      EXPECT_EQ(r.coloring.color, jp_color) << "threads=" << threads;
+      EXPECT_EQ(vcfp, vc_base) << "threads=" << threads;
+      EXPECT_EQ(vmfp, vm_base) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadInvariance, TraceOutputIsByteIdentical) {
+  const Graph g = circuit_like(2000, 4000, 6, WeightKind::kUnit, 62);
+  const Partition p =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(3));
+  const DistGraph dist = DistGraph::build(g, p);
+
+  auto opt = DistColoringOptions::improved();
+  opt.superstep_mode = SuperstepMode::kSync;
+  opt.faults.drop_rate = 0.05;
+  opt.faults.duplicate_rate = 0.02;
+  opt.faults.seed = 14;
+
+  std::string base;
+  for (const int threads : kThreadSweep) {
+    const std::string path = testing::TempDir() + "pmc_thread_trace_" +
+                             std::to_string(threads) + ".jsonl";
+    opt.trace.jsonl_path = path;
+    opt.exec.threads = threads;
+    (void)color_distributed(dist, opt);
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    ASSERT_FALSE(contents.str().empty());
+    if (threads == 1) {
+      base = contents.str();
+    } else {
+      EXPECT_EQ(contents.str(), base) << "threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -2,9 +2,13 @@
 // options.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <limits>
+#include <optional>
 #include <set>
+#include <string>
 
+#include "runtime/exec/backend.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/options.hpp"
@@ -305,6 +309,125 @@ TEST(Options, HelpListsDeclaredOptions) {
   const std::string h = opts.help("prog");
   EXPECT_NE(h.find("--ranks"), std::string::npos);
   EXPECT_NE(h.find("rank count"), std::string::npos);
+}
+
+// Restores (or clears) an environment variable when the test ends.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+Options threads_opts(const char* supplied) {
+  Options opts;
+  opts.add("threads", "", "execution backend threads");
+  if (supplied == nullptr) {
+    const char* argv[] = {"prog"};
+    (void)opts.parse(1, argv);
+  } else {
+    const char* argv[] = {"prog", "--threads", supplied};
+    (void)opts.parse(3, argv);
+  }
+  return opts;
+}
+
+TEST(Options, ThreadsParsesValidCounts) {
+  ScopedEnv env("PMC_THREADS", nullptr);
+  EXPECT_EQ(threads_opts("1").get_threads(), 1);
+  EXPECT_EQ(threads_opts("2").get_threads(), 2);
+  EXPECT_EQ(threads_opts("+2").get_threads(), 2);
+  EXPECT_EQ(threads_opts(nullptr).get_threads(), 1);  // empty default -> 1
+  EXPECT_EQ(threads_opts(std::to_string(max_thread_count()).c_str())
+                .get_threads(),
+            max_thread_count());
+}
+
+TEST(Options, ThreadsRejectsZeroAndTooLargeDistinctly) {
+  ScopedEnv env("PMC_THREADS", nullptr);
+  try {
+    (void)threads_opts("0").get_threads();
+    FAIL() << "expected pmc::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("at least 1 thread"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)threads_opts("-3").get_threads(), Error);
+  try {
+    (void)threads_opts(std::to_string(max_thread_count() + 1).c_str())
+        .get_threads();
+    FAIL() << "expected pmc::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds 4x the hardware"),
+              std::string::npos);
+  }
+}
+
+TEST(Options, ThreadsRejectsNonIntegersAndOverflow) {
+  ScopedEnv env("PMC_THREADS", nullptr);
+  for (const char* bad : {"", "x", "2.5", "4x", "+"}) {
+    try {
+      (void)threads_opts(bad).get_threads();
+      FAIL() << "expected pmc::Error for '" << bad << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("expects an integer"),
+                std::string::npos)
+          << bad;
+    }
+  }
+  try {
+    (void)threads_opts("99999999999999999999").get_threads();
+    FAIL() << "expected pmc::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(Options, ThreadsEnvFallbackAndPrecedence) {
+  {
+    ScopedEnv env("PMC_THREADS", "2");
+    // Unsupplied option defers to the environment...
+    EXPECT_EQ(threads_opts(nullptr).get_threads(), 2);
+    // ...but an explicit --threads wins over it.
+    EXPECT_EQ(threads_opts("1").get_threads(), 1);
+  }
+  {
+    ScopedEnv env("PMC_THREADS", "");
+    EXPECT_EQ(threads_opts(nullptr).get_threads(), 1);  // empty env ignored
+  }
+  {
+    ScopedEnv env("PMC_THREADS", "bogus");
+    try {
+      (void)threads_opts(nullptr).get_threads();
+      FAIL() << "expected pmc::Error";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("PMC_THREADS"), std::string::npos);
+    }
+  }
+  {
+    ScopedEnv env("PMC_THREADS", "3");
+    EXPECT_EQ(exec_config_from_env().threads, 3);
+  }
+  {
+    ScopedEnv env("PMC_THREADS", nullptr);
+    EXPECT_EQ(exec_config_from_env().threads, 1);
+  }
 }
 
 }  // namespace
