@@ -20,6 +20,9 @@ tier1() {
   # --timeout is a backstop for tests predating the per-test TIMEOUT
   # properties; a wedged simulation fails instead of hanging CI.
   ctest --test-dir build --output-on-failure -j "$JOBS" --timeout 300
+  # The codec ablation self-checks: identical results under both codecs,
+  # compact payload <= fixed payload per row, and >= 30% total reduction.
+  ./build/bench/bench_ablation_codec --json=build/BENCH_codec.json
 }
 
 asan() {
@@ -29,9 +32,11 @@ asan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   # The fabric/engine layer and every simulated distributed algorithm —
   # the code that moves raw bytes around and is worth sanitizing hardest.
-  # test_chaos drives the fault-injection + ack/retry paths, which touch
-  # serialized payloads the most aggressively.
+  # test_wire_codec exercises the codec round-trip plus the corruption and
+  # truncation detection sweeps; test_chaos drives the fault-injection +
+  # ack/retry paths, which touch serialized payloads the most aggressively.
   local tests=(
+    test_wire_codec
     test_fabric
     test_exec
     test_chaos
@@ -63,6 +68,7 @@ tsan() {
     test_exec
     test_determinism_regression
     test_chaos
+    test_wire_codec
     test_runtime_engines
   )
   cmake --build build-tsan -j "$JOBS" --target "${tests[@]}"

@@ -3,7 +3,7 @@
 // on the adjacency representation — optionally on simulated ranks.
 //
 // Usage:
-//   mtx_tool <file.mtx> [--ranks=64] [--threads=4] [--quality]
+//   mtx_tool <file.mtx> [--ranks=64] [--threads=4] [--codec=compact] [--quality]
 //
 // With --quality (square/rectangular matrices of moderate size) the exact
 // bipartite matching is also computed and the Table 1.1-style quality
@@ -18,14 +18,17 @@ int main(int argc, const char** argv) {
   Options opts;
   opts.add("ranks", "16", "simulated rank count");
   opts.add("threads", "", "execution backend threads (or PMC_THREADS)");
+  opts.add("codec", "compact", "wire codec: fixed | compact");
   opts.add_flag("quality", "also compute the exact matching (slow)");
   std::vector<std::string> files;
   ExecConfig exec;
   Rank ranks = 0;
+  WireCodec codec = WireCodec::kCompact;
   try {
     files = opts.parse(argc, argv);
     ranks = static_cast<Rank>(opts.get_int("ranks"));
     exec.threads = opts.get_threads();
+    codec = parse_wire_codec(opts.get("codec"));
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << opts.help("mtx_tool");
     return 2;
@@ -49,6 +52,7 @@ int main(int argc, const char** argv) {
       const Graph bip = matrix_to_bipartite(m, info);
       DistMatchingOptions mopt;
       mopt.exec = exec;
+      mopt.codec = codec;
       const auto match_result = match_on_ranks(bip, ranks, mopt);
       std::cout << "matching (" << ranks << " ranks): weight="
                 << matching_weight(bip, match_result.matching)
@@ -69,6 +73,7 @@ int main(int argc, const char** argv) {
         // compute sequentially; conflict detection still parallelizes.
         DistColoringOptions copt;
         copt.exec = exec;
+        copt.codec = codec;
         const auto color_result = color_on_ranks(adj, ranks, copt);
         std::cout << "coloring (" << ranks
                   << " ranks): colors=" << color_result.coloring.num_colors()

@@ -121,15 +121,20 @@ struct D2RankState {
 };
 
 void d2_apply_records(D2RankState& st, const BspMessage& msg) {
-  ByteReader reader(msg.payload);
-  while (!reader.done()) {
-    const auto global = reader.get<VertexId>();
-    const auto c = reader.get<Color>();
+  if (msg.payload.empty()) return;
+  FrameReader reader(msg.payload);
+  PMC_CHECK(reader.valid(),
+            "undetected bad frame reached the distance-2 coloring: "
+                << reader.error());
+  for (std::int64_t i = 0; i < reader.records(); ++i) {
+    const VertexId global = reader.read_id();
+    const Color c = reader.read_color();
     const auto it = st.view->global_to_local.find(global);
     PMC_CHECK(it != st.view->global_to_local.end(),
               "distance-2 record for vertex outside the view");
     st.color[static_cast<std::size_t>(it->second)] = c;
   }
+  PMC_CHECK(reader.done(), "trailing garbage after the last color record");
 }
 
 /// First-fit over the distance-2 neighborhood; returns arcs touched.
@@ -176,7 +181,7 @@ DistColoringResult color_distance2_distributed_native(
     // Two-hop recipients are precomputed per vertex, so the distance-2
     // flush always uses the neighbor-customized policy (the paper's NEW
     // mode).
-    st.stage = FanoutStage(P);
+    st.stage = FanoutStage(P, options.codec);
   }
 
   DistColoringResult result;
@@ -196,11 +201,15 @@ DistColoringResult color_distance2_distributed_native(
       ctx.send(dst, std::move(payload), records,
                [&lost, src](const CommFabric::SendReceipt& receipt,
                             std::span<const std::byte> bytes) {
-                 if (!receipt.dropped) return;
-                 ByteReader reader(bytes);
-                 while (!reader.done()) {
-                   const auto global = reader.get<VertexId>();
-                   (void)reader.get<Color>();
+                 if (!receipt.dropped && !receipt.corrupted) return;
+                 if (bytes.empty()) return;
+                 FrameReader reader(bytes);
+                 PMC_CHECK(reader.valid(),
+                           "sender-side copy of a lost frame is invalid: "
+                               << reader.error());
+                 for (std::int64_t i = 0; i < reader.records(); ++i) {
+                   const VertexId global = reader.read_id();
+                   (void)reader.read_color();
                    lost[static_cast<std::size_t>(src)].insert(global);
                  }
                });

@@ -20,8 +20,7 @@ struct JpRankState {
   std::vector<std::vector<Rank>> adj_ranks;  // per boundary vertex
   ColorChooser chooser{ColorStrategy::kFirstFit};
   // Per-rank send scratch (isolated so rank callbacks can run concurrently).
-  std::vector<ByteWriter> dest_payload;
-  std::vector<std::int64_t> dest_records;
+  std::vector<FrameWriter> dest_payload;
 };
 
 }  // namespace
@@ -37,8 +36,8 @@ JonesPlassmannResult color_jones_plassmann(
     JpRankState& st = states[static_cast<std::size_t>(r)];
     const LocalGraph& lg = dist.local(r);
     st.lg = &lg;
-    st.dest_payload.resize(static_cast<std::size_t>(P));
-    st.dest_records.assign(static_cast<std::size_t>(P), 0);
+    st.dest_payload.assign(static_cast<std::size_t>(P),
+                           FrameWriter(options.codec));
     st.color.assign(static_cast<std::size_t>(lg.num_local()), kNoColor);
     st.uncolored.resize(static_cast<std::size_t>(lg.num_owned()));
     for (VertexId v = 0; v < lg.num_owned(); ++v) {
@@ -73,7 +72,6 @@ JonesPlassmannResult color_jones_plassmann(
       JpRankState& st = states[static_cast<std::size_t>(r)];
       const LocalGraph& lg = *st.lg;
       auto& dest_payload = st.dest_payload;
-      auto& dest_records = st.dest_records;
       std::vector<Rank> touched;
       std::vector<VertexId> still_uncolored;
       still_uncolored.reserve(st.uncolored.size());
@@ -104,12 +102,10 @@ JonesPlassmannResult color_jones_plassmann(
         if (lg.is_boundary(v)) {
           for (Rank dst : st.adj_ranks[static_cast<std::size_t>(v)]) {
             auto& w = dest_payload[static_cast<std::size_t>(dst)];
-            if (dest_records[static_cast<std::size_t>(dst)] == 0) {
-              touched.push_back(dst);
-            }
-            w.put(gv);
-            w.put(c);
-            ++dest_records[static_cast<std::size_t>(dst)];
+            if (w.empty()) touched.push_back(dst);
+            w.begin_record();
+            w.put_id(gv);
+            w.put_color(c);
           }
         }
       }
@@ -118,9 +114,9 @@ JonesPlassmannResult color_jones_plassmann(
       touched.erase(std::unique(touched.begin(), touched.end()),
                     touched.end());
       for (Rank dst : touched) {
-        ctx.send(dst, dest_payload[static_cast<std::size_t>(dst)].take(),
-                 dest_records[static_cast<std::size_t>(dst)]);
-        dest_records[static_cast<std::size_t>(dst)] = 0;
+        auto& w = dest_payload[static_cast<std::size_t>(dst)];
+        const std::int64_t records = w.records();
+        ctx.send(dst, w.take(), records);
       }
     });
     // Round barrier + ghost color application.
@@ -128,14 +124,17 @@ JonesPlassmannResult color_jones_plassmann(
     engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
       JpRankState& st = states[static_cast<std::size_t>(ctx.rank())];
       for (const BspMessage& msg : ctx.drain()) {
-        ByteReader reader(msg.payload);
-        while (!reader.done()) {
-          const auto global = reader.get<VertexId>();
-          const auto c = reader.get<Color>();
+        FrameReader reader(msg.payload);
+        PMC_CHECK(reader.valid(), "undetected bad frame reached JP: "
+                                      << reader.error());
+        for (std::int64_t i = 0; i < reader.records(); ++i) {
+          const VertexId global = reader.read_id();
+          const Color c = reader.read_color();
           const VertexId local = st.lg->local_id(global);
           PMC_CHECK(local != kNoVertex, "JP record for unknown vertex");
           st.color[static_cast<std::size_t>(local)] = c;
         }
+        PMC_CHECK(reader.done(), "trailing garbage after the last JP record");
       }
     });
     ++result.rounds;

@@ -21,6 +21,7 @@
 #include "runtime/dist_graph.hpp"
 #include "runtime/exec/backend.hpp"
 #include "runtime/machine_model.hpp"
+#include "runtime/serialize.hpp"
 
 namespace pmc {
 
@@ -29,6 +30,8 @@ struct JonesPlassmannOptions {
   MachineModel model = MachineModel::blue_gene_p();
   std::uint64_t seed = 0;
   int max_rounds = 100000;
+  /// Wire codec for the boundary-color frames.
+  WireCodec codec = WireCodec::kCompact;
   /// Execution backend (exec.threads > 1 runs the per-rank round callbacks
   /// on a thread pool, bit-identically to sequential execution).
   ExecConfig exec;

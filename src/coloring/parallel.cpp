@@ -55,16 +55,22 @@ struct RankState {
 };
 
 void apply_color_records(RankState& state, const BspMessage& msg) {
-  ByteReader reader(msg.payload);
-  while (!reader.done()) {
-    const auto global = reader.get<VertexId>();
-    const auto c = reader.get<Color>();
+  // FIAC sends (possibly empty) messages to every rank; an empty message
+  // carries no frame at all.
+  if (msg.payload.empty()) return;
+  FrameReader reader(msg.payload);
+  PMC_CHECK(reader.valid(), "undetected bad frame reached the coloring: "
+                                << reader.error());
+  for (std::int64_t i = 0; i < reader.records(); ++i) {
+    const VertexId global = reader.read_id();
+    const Color c = reader.read_color();
     const VertexId local = state.lg->local_id(global);
     // Broadcast modes deliver records for vertices this rank has never heard
     // of; that waste is exactly what the customized modes eliminate.
     if (local == kNoVertex) continue;
     state.color[static_cast<std::size_t>(local)] = c;
   }
+  PMC_CHECK(reader.done(), "trailing garbage after the last color record");
 }
 
 /// Colors one owned vertex first-fit (or per strategy) against the colors
@@ -103,7 +109,7 @@ DistColoringResult color_distributed(const DistGraph& dist,
     st.color.assign(static_cast<std::size_t>(lg.num_local()), kNoColor);
     st.chooser = ColorChooser(options.strategy,
                               /*stagger_base=*/static_cast<Color>(r));
-    st.stage = FanoutStage(P);
+    st.stage = FanoutStage(P, options.codec);
     if (options.strategy == ColorStrategy::kLeastUsed) {
       st.usage.assign(1, 0);
     }
@@ -155,14 +161,20 @@ DistColoringResult color_distributed(const DistGraph& dist,
       ctx.send(dst, std::move(payload), records,
                [&lost, src](const CommFabric::SendReceipt& receipt,
                             std::span<const std::byte> bytes) {
-                 if (!receipt.dropped) return;
-                 // The receiver never sees these colors, so conflict
-                 // detection there cannot be symmetric; the sender re-enters
-                 // the vertices instead.
-                 ByteReader reader(bytes);
-                 while (!reader.done()) {
-                   const auto global = reader.get<VertexId>();
-                   (void)reader.get<Color>();
+                 if (!receipt.dropped && !receipt.corrupted) return;
+                 if (bytes.empty()) return;
+                 // The receiver never sees these colors (lost outright, or
+                 // rejected by its checksum), so conflict detection there
+                 // cannot be symmetric; the sender re-enters the vertices
+                 // instead. The callback always gets the original bytes, so
+                 // decoding the kept copy is safe even for corrupted sends.
+                 FrameReader reader(bytes);
+                 PMC_CHECK(reader.valid(),
+                           "sender-side copy of a lost frame is invalid: "
+                               << reader.error());
+                 for (std::int64_t i = 0; i < reader.records(); ++i) {
+                   const VertexId global = reader.read_id();
+                   (void)reader.read_color();
                    lost[static_cast<std::size_t>(src)].insert(global);
                  }
                });

@@ -49,6 +49,9 @@ struct DistColoringOptions {
   SuperstepMode superstep_mode = SuperstepMode::kAsync;
   LocalOrder local_order = LocalOrder::kInteriorFirst;
   ColorStrategy strategy = ColorStrategy::kFirstFit;
+  /// Wire codec for the boundary-color frames (kFixed is the legacy
+  /// fixed-width ablation baseline).
+  WireCodec codec = WireCodec::kCompact;
   MachineModel model = MachineModel::blue_gene_p();
   std::uint64_t seed = 0;
   /// Safety bound on rounds (the framework converges in ~6 on real inputs).

@@ -14,7 +14,8 @@ namespace pmc {
 DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
                                              const Coloring& c,
                                              const MachineModel& model,
-                                             const ExecConfig& exec) {
+                                             const ExecConfig& exec,
+                                             WireCodec codec) {
   PMC_REQUIRE(c.num_vertices() == dist.num_global_vertices(),
               "coloring size does not match the distributed graph");
   WallTimer wall;
@@ -24,8 +25,7 @@ DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
   // Boundary color exchange.
   engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
     const LocalGraph& lg = dist.local(ctx.rank());
-    std::unordered_map<Rank, ByteWriter> out;
-    std::unordered_map<Rank, std::int64_t> records;
+    std::unordered_map<Rank, FrameWriter> out;
     std::vector<Rank> scratch;
     for (const VertexId v : lg.boundary_vertices()) {
       const VertexId gv = lg.global_id(v);
@@ -38,13 +38,15 @@ DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
       scratch.erase(std::unique(scratch.begin(), scratch.end()),
                     scratch.end());
       for (Rank dst : scratch) {
-        out[dst].put(gv);
-        out[dst].put(c.color[static_cast<std::size_t>(gv)]);
-        ++records[dst];
+        auto& w = out.try_emplace(dst, FrameWriter(codec)).first->second;
+        w.begin_record();
+        w.put_id(gv);
+        w.put_color(c.color[static_cast<std::size_t>(gv)]);
       }
     }
     for (auto& [dst, writer] : out) {
-      ctx.send(dst, writer.take(), records[dst]);
+      const std::int64_t records = writer.records();
+      ctx.send(dst, writer.take(), records);
     }
   });
   engine.barrier();
@@ -56,12 +58,18 @@ DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
     std::int64_t& mine = violations[static_cast<std::size_t>(r)];
     std::unordered_map<VertexId, Color> ghost_color;
     for (const BspMessage& msg : ctx.drain()) {
-      ByteReader reader(msg.payload);
-      while (!reader.done()) {
-        const auto gv = reader.get<VertexId>();
-        const auto color = reader.get<Color>();
+      if (msg.payload.empty()) continue;
+      FrameReader reader(msg.payload);
+      PMC_CHECK(reader.valid(),
+                "undetected bad frame reached the coloring verifier: "
+                    << reader.error());
+      for (std::int64_t i = 0; i < reader.records(); ++i) {
+        const VertexId gv = reader.read_id();
+        const Color color = reader.read_color();
         ghost_color[gv] = color;
       }
+      PMC_CHECK(reader.done(),
+                "trailing garbage after the last boundary-color record");
     }
     for (VertexId v = 0; v < lg.num_owned(); ++v) {
       ctx.charge(static_cast<double>(lg.degree(v)) + 1.0);

@@ -11,6 +11,7 @@
 #include "runtime/dist_graph.hpp"
 #include "runtime/exec/backend.hpp"
 #include "runtime/machine_model.hpp"
+#include "runtime/serialize.hpp"
 
 namespace pmc {
 
@@ -21,6 +22,6 @@ namespace pmc {
 [[nodiscard]] DistVerifyResult verify_coloring_distributed(
     const DistGraph& dist, const Coloring& c,
     const MachineModel& model = MachineModel::zero_cost(),
-    const ExecConfig& exec = {});
+    const ExecConfig& exec = {}, WireCodec codec = WireCodec::kCompact);
 
 }  // namespace pmc

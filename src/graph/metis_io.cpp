@@ -38,9 +38,12 @@ Graph read_metis_graph(std::istream& in) {
   std::string fmt;
   header >> n >> m >> fmt;
   PMC_REQUIRE(n >= 0 && m >= 0, "malformed METIS header '" << line << "'");
+  PMC_REQUIRE(fmt != "10" && fmt != "11",
+              "METIS fmt '" << fmt
+                            << "' requests vertex weights, which this reader "
+                               "does not support (only fmt 0, 1 and 01)");
   PMC_REQUIRE(fmt.empty() || fmt == "0" || fmt == "1" || fmt == "01",
-              "unsupported METIS fmt '" << fmt
-                                        << "' (vertex weights not supported)");
+              "unsupported METIS fmt '" << fmt << "'");
   const bool edge_weights = (fmt == "1" || fmt == "01");
 
   GraphBuilder builder(n, edge_weights, DuplicatePolicy::kKeepFirst);

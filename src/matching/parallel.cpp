@@ -29,7 +29,7 @@ class MatchProcess final : public Process {
   MatchProcess(const LocalGraph& lg, const DistMatchingOptions& options)
       : lg_(lg),
         bundler_(options.bundled ? BundleMode::kBundled : BundleMode::kEager,
-                 options.bundle_flush_bytes) {}
+                 options.bundle_flush_bytes, options.codec) {}
 
   void start(EventContext& ctx) override {
     ctx.set_phase(WorkPhase::kInterior);
@@ -104,31 +104,35 @@ class MatchProcess final : public Process {
     // the cascades it triggers count as boundary work.
     ctx.set_round(activations_);
     ctx.set_phase(WorkPhase::kBoundary);
-    ByteReader reader(payload);
-    while (!reader.done()) {
-      const auto type = static_cast<RecordType>(reader.get<std::uint8_t>());
+    FrameReader reader(payload);
+    PMC_CHECK(reader.valid(), "undetected bad frame reached the matching: "
+                                  << reader.error());
+    for (std::int64_t i = 0; i < reader.records(); ++i) {
+      const auto type = static_cast<RecordType>(reader.read_u8());
       ctx.charge(1.0);
       switch (type) {
         case RecordType::kRequest: {
-          const auto u_global = reader.get<VertexId>();
-          const auto v_global = reader.get<VertexId>();
+          const VertexId u_global = reader.read_id();
+          const VertexId v_global = reader.read_id_rel();
           handle_request(ctx, u_global, v_global);
           break;
         }
         case RecordType::kSucceeded: {
-          const auto x_global = reader.get<VertexId>();
-          const auto mate_global = reader.get<VertexId>();
+          const VertexId x_global = reader.read_id();
+          const VertexId mate_global = reader.read_id_rel();
           handle_succeeded(ctx, x_global, mate_global);
           break;
         }
         case RecordType::kFailed: {
-          const auto x_global = reader.get<VertexId>();
+          const VertexId x_global = reader.read_id();
           handle_failed(ctx, x_global);
           break;
         }
       }
       process_pending(ctx);
     }
+    PMC_CHECK(reader.done(),
+              "trailing garbage after the last matching record");
     flush(ctx);
   }
 
@@ -354,16 +358,19 @@ class MatchProcess final : public Process {
   void enqueue_record(EventContext& ctx, Rank dst, RecordType type,
                       VertexId a, VertexId b) {
     bundler_.add(
-        dst, [&](ByteWriter& w) { encode(w, type, a, b); },
+        dst, [&](FrameWriter& w) { encode(w, type, a, b); },
         [&](Rank d, std::vector<std::byte> payload, std::int64_t records) {
           ctx.send(d, std::move(payload), records);
         });
   }
 
-  static void encode(ByteWriter& w, RecordType type, VertexId a, VertexId b) {
-    w.put(static_cast<std::uint8_t>(type));
-    w.put(a);
-    if (type != RecordType::kFailed) w.put(b);
+  static void encode(FrameWriter& w, RecordType type, VertexId a, VertexId b) {
+    w.begin_record();
+    w.put_u8(static_cast<std::uint8_t>(type));
+    w.put_id(a);
+    // b is a graph neighbor of a (REQUEST target / mate), so the relative
+    // encoding stays short under the compact codec.
+    if (type != RecordType::kFailed) w.put_id_rel(b);
   }
 
   void flush(EventContext& ctx) {

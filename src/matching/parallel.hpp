@@ -46,6 +46,9 @@ struct DistMatchingOptions {
   /// payload reaches this many bytes. 0 = flush only at activation
   /// boundaries (the paper's behaviour).
   std::size_t bundle_flush_bytes = 0;
+  /// Wire codec for the REQUEST/SUCCEEDED/FAILED frames (kFixed is the
+  /// legacy fixed-width ablation baseline).
+  WireCodec codec = WireCodec::kCompact;
   /// Machine cost model for the simulation.
   MachineModel model = MachineModel::blue_gene_p();
   /// Deterministic message-delivery jitter (seconds); exercises alternative

@@ -14,7 +14,8 @@ namespace pmc {
 DistVerifyResult verify_matching_distributed(const DistGraph& dist,
                                              const Matching& m,
                                              const MachineModel& model,
-                                             const ExecConfig& exec) {
+                                             const ExecConfig& exec,
+                                             WireCodec codec) {
   PMC_REQUIRE(m.num_vertices() == dist.num_global_vertices(),
               "matching size does not match the distributed graph");
   WallTimer wall;
@@ -25,8 +26,7 @@ DistVerifyResult verify_matching_distributed(const DistGraph& dist,
   // each neighboring rank — the information receivers need about ghosts.
   engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
     const LocalGraph& lg = dist.local(ctx.rank());
-    std::unordered_map<Rank, ByteWriter> out;
-    std::unordered_map<Rank, std::int64_t> records;
+    std::unordered_map<Rank, FrameWriter> out;
     std::vector<Rank> scratch_ranks;
     for (const VertexId v : lg.boundary_vertices()) {
       const VertexId gv = lg.global_id(v);
@@ -41,13 +41,15 @@ DistVerifyResult verify_matching_distributed(const DistGraph& dist,
           std::unique(scratch_ranks.begin(), scratch_ranks.end()),
           scratch_ranks.end());
       for (Rank dst : scratch_ranks) {
-        out[dst].put(gv);
-        out[dst].put(mate);
-        ++records[dst];
+        auto& w = out.try_emplace(dst, FrameWriter(codec)).first->second;
+        w.begin_record();
+        w.put_id(gv);
+        w.put_id_rel(mate);
       }
     }
     for (auto& [dst, writer] : out) {
-      ctx.send(dst, writer.take(), records[dst]);
+      const std::int64_t records = writer.records();
+      ctx.send(dst, writer.take(), records);
     }
   });
   engine.barrier();
@@ -61,12 +63,18 @@ DistVerifyResult verify_matching_distributed(const DistGraph& dist,
     // Ghost mate table from the received records.
     std::unordered_map<VertexId, VertexId> ghost_mate;
     for (const BspMessage& msg : ctx.drain()) {
-      ByteReader reader(msg.payload);
-      while (!reader.done()) {
-        const auto gv = reader.get<VertexId>();
-        const auto mate = reader.get<VertexId>();
+      if (msg.payload.empty()) continue;
+      FrameReader reader(msg.payload);
+      PMC_CHECK(reader.valid(),
+                "undetected bad frame reached the matching verifier: "
+                    << reader.error());
+      for (std::int64_t i = 0; i < reader.records(); ++i) {
+        const VertexId gv = reader.read_id();
+        const VertexId mate = reader.read_id_rel();
         ghost_mate[gv] = mate;
       }
+      PMC_CHECK(reader.done(),
+                "trailing garbage after the last boundary-mate record");
     }
     auto mate_of_local = [&](VertexId local) {
       const VertexId global = lg.global_id(local);

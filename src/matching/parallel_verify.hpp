@@ -16,6 +16,7 @@
 #include "runtime/dist_graph.hpp"
 #include "runtime/exec/backend.hpp"
 #include "runtime/machine_model.hpp"
+#include "runtime/serialize.hpp"
 
 namespace pmc {
 
@@ -33,6 +34,6 @@ struct DistVerifyResult {
 [[nodiscard]] DistVerifyResult verify_matching_distributed(
     const DistGraph& dist, const Matching& m,
     const MachineModel& model = MachineModel::zero_cost(),
-    const ExecConfig& exec = {});
+    const ExecConfig& exec = {}, WireCodec codec = WireCodec::kCompact);
 
 }  // namespace pmc

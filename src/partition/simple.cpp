@@ -44,13 +44,16 @@ Partition grid_2d_partition(VertexId rows, VertexId cols, Rank pr, Rank pc) {
               "processor grid " << pr << "x" << pc
                                 << " larger than vertex grid " << rows << "x"
                                 << cols);
-  const VertexId block_r = (rows + pr - 1) / pr;
-  const VertexId block_c = (cols + pc - 1) / pc;
+  // floor(i * pr / rows) boundaries (like block_partition): every processor
+  // row/column gets at least one vertex row/column. The previous
+  // ceil-division blocking (block_r = ceil(rows / pr); bi = i / block_r)
+  // left trailing processor rows empty whenever pr did not divide rows —
+  // e.g. rows=5, pr=4 gave block_r=2 and mapped rows only onto {0, 1, 2}.
   std::vector<Rank> owner(static_cast<std::size_t>(rows * cols));
   for (VertexId i = 0; i < rows; ++i) {
-    const auto bi = static_cast<Rank>(i / block_r);
+    const auto bi = static_cast<Rank>((static_cast<__int128>(i) * pr) / rows);
     for (VertexId j = 0; j < cols; ++j) {
-      const auto bj = static_cast<Rank>(j / block_c);
+      const auto bj = static_cast<Rank>((static_cast<__int128>(j) * pc) / cols);
       owner[static_cast<std::size_t>(i * cols + j)] = bi * pc + bj;
     }
   }

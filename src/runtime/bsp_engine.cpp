@@ -36,8 +36,26 @@ CommFabric::SendReceipt BspEngine::send(Rank src, Rank dst,
   // make conflict detection asymmetric. (The event engine's transport does
   // the same by sequence number; here the round structure stands in for it.)
   if (receipt.duplicated) fabric_.note_dup_suppressed(dst);
+  if (receipt.corrupted) {
+    // Rejected by the receiver's checksum: discarded like a drop, and the
+    // algorithm recovers the same way (the receipt reports the verdict).
+    reject_corrupted(dst, receipt, std::move(payload));
+    return receipt;
+  }
   deliver(dst, src, receipt.arrival, std::move(payload));
   return receipt;
+}
+
+void BspEngine::reject_corrupted(Rank dst,
+                                 const CommFabric::SendReceipt& receipt,
+                                 std::vector<std::byte> payload) {
+  // Honest detection: physically flip a bit of the delivered copy and let
+  // frame validation reject it (empty payloads have nothing to flip and are
+  // rejected outright).
+  if (!payload.empty()) corrupt_one_bit(payload, receipt.seq);
+  PMC_CHECK(payload.empty() || !FrameReader(payload).valid(),
+            "garbled frame passed checksum validation");
+  fabric_.note_corruption_detected(dst);
 }
 
 void BspEngine::deliver(Rank dst, Rank src, double arrival,
@@ -186,10 +204,16 @@ void BspEngine::merge(RankCtx& ctx) {
                                               s.payload.size(), s.records,
                                               s.send_time);
     if (receipt.duplicated) fabric_.note_dup_suppressed(s.dst);
+    // Mirror the direct path's event order (detection precedes the receipt
+    // callback); the callback still sees the *original* bytes, so only a
+    // copy is garbled.
+    if (!receipt.dropped && receipt.corrupted) {
+      reject_corrupted(s.dst, receipt, s.payload);
+    }
     if (s.on_receipt) {
       s.on_receipt(receipt, std::span<const std::byte>(s.payload));
     }
-    if (!receipt.dropped) {
+    if (!receipt.dropped && !receipt.corrupted) {
       deliver(s.dst, ctx.rank_, receipt.arrival, std::move(s.payload));
     }
   }

@@ -189,6 +189,11 @@ class BspEngine {
   /// Inserts an already-priced message into dst's inbox (sorted by arrival).
   void deliver(Rank dst, Rank src, double arrival,
                std::vector<std::byte> payload);
+  /// Garbles the delivered copy of a corrupted message, verifies the frame
+  /// checksum rejects it, and counts the detection at dst. The frame never
+  /// reaches the inbox; the sender's receipt drives the algorithm's repair.
+  void reject_corrupted(Rank dst, const CommFabric::SendReceipt& receipt,
+                        std::vector<std::byte> payload);
   /// Absorbs a deferred rank's lane and replays its recorded sends.
   void merge(RankCtx& ctx);
 

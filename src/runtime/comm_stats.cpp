@@ -7,7 +7,8 @@ namespace pmc {
 
 std::string CommStats::to_string() const {
   std::ostringstream oss;
-  oss << "msgs=" << messages << " bytes=" << bytes << " records=" << records
+  oss << "msgs=" << messages << " bytes=" << bytes << " payload="
+      << payload_bytes << " records=" << records
       << " collectives=" << collectives;
   return oss.str();
 }
@@ -15,7 +16,8 @@ std::string CommStats::to_string() const {
 std::string FaultStats::to_string() const {
   std::ostringstream oss;
   oss << "drops=" << drops << " dups=" << duplicates << " suppressed="
-      << dup_suppressed << " retries=" << retries << " backoff="
+      << dup_suppressed << " corrupt=" << corruptions << " corrupt_detected="
+      << corruptions_detected << " retries=" << retries << " backoff="
       << backoff_seconds << "s";
   return oss.str();
 }

@@ -12,12 +12,16 @@ namespace pmc {
 struct CommStats {
   std::int64_t messages = 0;  ///< Point-to-point messages sent.
   std::int64_t bytes = 0;     ///< Payload + envelope bytes sent.
+  /// Encoded payload bytes only (bytes minus the modelled envelopes) — the
+  /// wire-codec ablation compares this across codecs.
+  std::int64_t payload_bytes = 0;
   std::int64_t records = 0;   ///< Algorithm-level records inside messages.
   std::int64_t collectives = 0;  ///< Barriers / allreduces performed.
 
   void operator+=(const CommStats& other) noexcept {
     messages += other.messages;
     bytes += other.bytes;
+    payload_bytes += other.payload_bytes;
     records += other.records;
     collectives += other.collectives;
   }
@@ -39,6 +43,13 @@ struct FaultStats {
   std::int64_t drops = 0;           ///< Messages the fabric dropped.
   std::int64_t duplicates = 0;      ///< Messages the fabric duplicated.
   std::int64_t dup_suppressed = 0;  ///< Duplicate copies filtered on receive.
+  /// Messages the fabric garbled in flight (charged to the sender, like
+  /// drops/duplicates).
+  std::int64_t corruptions = 0;
+  /// Garbled frames the receiver's checksum validation rejected (charged to
+  /// the receiver, like dup_suppressed). Equals `corruptions` in aggregate:
+  /// a single flipped bit never survives the FNV-1a check.
+  std::int64_t corruptions_detected = 0;
   std::int64_t retries = 0;         ///< Transport retransmissions.
   double backoff_seconds = 0.0;     ///< Total time spent in retry backoff.
 
@@ -46,13 +57,16 @@ struct FaultStats {
     drops += other.drops;
     duplicates += other.duplicates;
     dup_suppressed += other.dup_suppressed;
+    corruptions += other.corruptions;
+    corruptions_detected += other.corruptions_detected;
     retries += other.retries;
     backoff_seconds += other.backoff_seconds;
   }
 
   [[nodiscard]] bool any() const noexcept {
     return drops != 0 || duplicates != 0 || dup_suppressed != 0 ||
-           retries != 0 || backoff_seconds != 0.0;
+           corruptions != 0 || corruptions_detected != 0 || retries != 0 ||
+           backoff_seconds != 0.0;
   }
 
   [[nodiscard]] std::string to_string() const;

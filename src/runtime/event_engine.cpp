@@ -170,12 +170,26 @@ void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq,
                << " attempts");
     }
   } else {
+    if (receipt.corrupted && final_attempt) {
+      // A corrupted copy will be rejected at the receiver, so without the
+      // reliable tail (an exempt send is never corrupted) the message is as
+      // lost as a drop — same loud failure.
+      PMC_FAIL("retry budget exhausted: rank " << src << " -> rank " << dst
+               << " tseq " << tseq << " garbled after " << entry.attempt
+               << " attempts");
+    }
     Event ev;
     ev.time = receipt.arrival;
     ev.src = src;
     ev.dst = dst;
     ev.payload = entry.payload;  // keep the original for retransmission
     ev.tseq = tseq;
+    ev.corrupted = receipt.corrupted;
+    // Physically garble the delivered copy (never the retransmission
+    // source) so the receiver's checksum check rejects it honestly.
+    if (ev.corrupted && !ev.payload.empty()) {
+      corrupt_one_bit(ev.payload, receipt.seq);
+    }
     push_event(std::move(ev));
     if (receipt.duplicated) {
       Event dup;
@@ -220,6 +234,9 @@ void EventEngine::send_ack(Rank from, Rank to, std::uint64_t tseq) {
   ev.src = from;
   ev.dst = to;
   ev.tseq = tseq;
+  // An ack's payload is modelled-only (no bytes to flip): the corrupted
+  // flag alone marks it for rejection at the sender.
+  ev.corrupted = receipt.corrupted;
   push_event(std::move(ev));
   if (receipt.duplicated) {
     Event dup = ev;
@@ -233,6 +250,15 @@ void EventEngine::dispatch(Event ev) {
   switch (ev.kind) {
     case EventKind::kData: {
       fabric_.advance_to(ev.dst, ev.time);
+      if (ev.corrupted) {
+        // Honest detection: the delivered bytes themselves must fail frame
+        // validation (empty payloads have nothing to flip and are rejected
+        // outright). No ack — the sender's retry timer recovers.
+        PMC_CHECK(ev.payload.empty() || !FrameReader(ev.payload).valid(),
+                  "garbled frame passed checksum validation");
+        fabric_.note_corruption_detected(ev.dst);
+        return;
+      }
       if (transport_) {
         const std::uint64_t channel = channel_key(ev.src, ev.dst);
         const bool fresh = delivered_[channel].insert(ev.tseq).second;
@@ -251,6 +277,12 @@ void EventEngine::dispatch(Event ev) {
     }
     case EventKind::kAck: {
       fabric_.advance_to(ev.dst, ev.time);
+      if (ev.corrupted) {
+        // A garbled ack is rejected, not trusted: the pending entry stays
+        // and the data message will be retransmitted (then re-acked).
+        fabric_.note_corruption_detected(ev.dst);
+        return;
+      }
       auto chan = unacked_.find(channel_key(ev.dst, ev.src));
       if (chan != unacked_.end()) chan->second.erase(ev.tseq);
       return;

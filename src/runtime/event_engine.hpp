@@ -182,6 +182,9 @@ class EventEngine {
     std::vector<std::byte> payload;
     EventKind kind = EventKind::kData;
     std::uint64_t tseq = 0;  ///< Transport sequence on the (src,dst) channel.
+    /// The fabric garbled this copy in flight: the payload carries a flipped
+    /// bit and the receiver's checksum validation must reject it.
+    bool corrupted = false;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const noexcept {

@@ -24,6 +24,7 @@ constexpr std::uint64_t kDelayAmountSalt = 0xBF58476D1CE4E5B9ULL;
 constexpr std::uint64_t kDropSalt = 0x94D049BB133111EBULL;
 constexpr std::uint64_t kDupSalt = 0xD6E8FEB86659FD93ULL;
 constexpr std::uint64_t kDupDelaySalt = 0xA5CB3D9FB523AE64ULL;
+constexpr std::uint64_t kCorruptSalt = 0x2545F4914F6CDD1DULL;
 
 }  // namespace
 
@@ -39,6 +40,8 @@ CommFabric::CommFabric(MachineModel model, Config config)
               "duplicate_rate outside [0,1]: " << F.duplicate_rate);
   PMC_REQUIRE(F.delay_rate >= 0.0 && F.delay_rate <= 1.0,
               "delay_rate outside [0,1]: " << F.delay_rate);
+  PMC_REQUIRE(F.corrupt_rate >= 0.0 && F.corrupt_rate <= 1.0,
+              "corrupt_rate outside [0,1]: " << F.corrupt_rate);
   PMC_REQUIRE(F.max_extra_delay_seconds >= 0.0, "negative fault delay bound");
   PMC_REQUIRE(F.delay_rate == 0.0 || F.max_extra_delay_seconds > 0.0,
               "delay_rate > 0 needs max_extra_delay_seconds > 0");
@@ -147,7 +150,14 @@ CommFabric::SendReceipt CommFabric::post_send_at(Rank src, Rank dst,
     }
     receipt.dropped = F.drop_rate > 0.0 &&
                       unit_from(splitmix64(base ^ kDropSalt)) < F.drop_rate;
-    if (!receipt.dropped && F.duplicate_rate > 0.0 &&
+    // Corruption only makes sense for messages that arrive; a corrupted
+    // message is never also duplicated (one failure mode per message keeps
+    // the recovery paths analyzable, and with corrupt_rate == 0 the drop and
+    // duplicate verdict streams are unchanged).
+    receipt.corrupted =
+        !receipt.dropped && F.corrupt_rate > 0.0 &&
+        unit_from(splitmix64(base ^ kCorruptSalt)) < F.corrupt_rate;
+    if (!receipt.dropped && !receipt.corrupted && F.duplicate_rate > 0.0 &&
         unit_from(splitmix64(base ^ kDupSalt)) < F.duplicate_rate) {
       receipt.duplicated = true;
       receipt.duplicate_arrival =
@@ -182,9 +192,12 @@ CommFabric::SendReceipt CommFabric::post_send_at(Rank src, Rank dst,
                            static_cast<std::int64_t>(model_.header_bytes);
   comm_.messages += 1;
   comm_.bytes += total_bytes;
+  comm_.payload_bytes += static_cast<std::int64_t>(payload_bytes);
   comm_.records += records;
-  trace_.on_send(send_time, src, dst, total_bytes, records);
+  trace_.on_send(send_time, src, dst, total_bytes,
+                 static_cast<std::int64_t>(payload_bytes), records);
   if (receipt.dropped) trace_.on_drop(send_time, src, dst, total_bytes);
+  if (receipt.corrupted) trace_.on_corrupt(send_time, src, dst, total_bytes);
   if (receipt.duplicated) trace_.on_duplicate(send_time, src, dst, total_bytes);
 
   receipt.arrival = arrival;

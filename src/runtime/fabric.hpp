@@ -58,8 +58,14 @@ struct StallWindow {
 /// layer is inert and the fabric behaves exactly as without it.
 struct FaultConfig {
   double drop_rate = 0.0;       ///< P(message silently lost).
-  double duplicate_rate = 0.0;  ///< P(second copy delivered); never on drops.
+  double duplicate_rate = 0.0;  ///< P(second copy delivered); never on drops
+                                ///< or corruptions.
   double delay_rate = 0.0;      ///< P(extra delay added to arrival).
+  /// P(message garbled in flight). The message still arrives; the engine
+  /// flips a bit of the delivered bytes and the frame checksum catches it —
+  /// a detected corruption routes into retry (event engine) or repair
+  /// re-entry (BSP paths) instead of being decoded.
+  double corrupt_rate = 0.0;
   /// Upper bound on the injected extra delay (and on the duplicate copy's
   /// lag behind the original).
   double max_extra_delay_seconds = 0.0;
@@ -80,7 +86,7 @@ struct FaultConfig {
 
   [[nodiscard]] bool enabled() const noexcept {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
-           !stalls.empty();
+           corrupt_rate > 0.0 || !stalls.empty();
   }
 };
 
@@ -105,6 +111,9 @@ class CommFabric {
     std::uint64_t seq = 0;   ///< Global send sequence number (tie-breaker).
     bool dropped = false;    ///< Fault layer lost the message (no delivery).
     bool duplicated = false; ///< A second copy arrives at duplicate_arrival.
+    /// Fault layer garbled the message in flight: it arrives, but the
+    /// engine delivers flipped bytes and the frame checksum rejects them.
+    bool corrupted = false;
     double duplicate_arrival = 0.0;
   };
 
@@ -188,6 +197,10 @@ class CommFabric {
   }
   void note_dup_suppressed(Rank dst) {
     trace_.on_dup_suppressed(now(dst), dst);
+  }
+  /// Receiver-side checksum validation rejected a garbled frame.
+  void note_corruption_detected(Rank dst) {
+    trace_.on_corruption_detected(now(dst), dst);
   }
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -287,34 +300,43 @@ enum class BundleMode {
 /// (and the unbundled ablation) shares one implementation.
 ///
 /// Records are appended through an encode callback writing into the staged
-/// ByteWriter; the send callback receives (dst, payload, record_count) and
-/// forwards to the engine. With a non-zero flush threshold, a destination's
-/// bundle is sent as soon as its staged payload reaches the threshold
-/// (bounding message size without changing record order).
+/// FrameWriter (the callback is responsible for begin_record()); the send
+/// callback receives (dst, framed payload, record_count) and forwards to
+/// the engine. With a non-zero flush threshold, a destination's bundle is
+/// sent as soon as its staged *payload* (pre-frame encoded bytes) reaches
+/// the threshold (bounding message size without changing record order).
 class Bundler {
  public:
-  explicit Bundler(BundleMode mode, std::size_t flush_threshold_bytes = 0)
-      : mode_(mode), flush_threshold_bytes_(flush_threshold_bytes) {}
+  explicit Bundler(BundleMode mode, std::size_t flush_threshold_bytes = 0,
+                   WireCodec codec = WireCodec::kCompact)
+      : mode_(mode),
+        flush_threshold_bytes_(flush_threshold_bytes),
+        codec_(codec) {}
 
   [[nodiscard]] BundleMode mode() const noexcept { return mode_; }
+  [[nodiscard]] WireCodec codec() const noexcept { return codec_; }
 
-  /// Appends one record for dst. EncodeFn is void(ByteWriter&); SendFn is
+  /// Appends one record for dst. EncodeFn is void(FrameWriter&); SendFn is
   /// void(Rank, std::vector<std::byte>, std::int64_t records).
   template <typename EncodeFn, typename SendFn>
   void add(Rank dst, EncodeFn&& encode, SendFn&& send) {
     if (mode_ == BundleMode::kEager) {
-      ByteWriter w;
+      FrameWriter w(codec_);
       encode(w);
-      send(dst, w.take(), std::int64_t{1});
+      const std::int64_t records = w.records();
+      send(dst, w.take(), records);
       return;
     }
-    auto& buf = out_[dst];
-    encode(buf.writer);
-    buf.records += 1;
+    auto it = out_.find(dst);
+    if (it == out_.end()) {
+      it = out_.try_emplace(dst, FrameWriter(codec_)).first;
+    }
+    FrameWriter& w = it->second;
+    encode(w);
     if (flush_threshold_bytes_ != 0 &&
-        buf.writer.size() >= flush_threshold_bytes_) {
-      send(dst, buf.writer.take(), buf.records);
-      buf.records = 0;
+        w.payload_size() >= flush_threshold_bytes_) {
+      const std::int64_t records = w.records();
+      send(dst, w.take(), records);
     }
   }
 
@@ -322,29 +344,25 @@ class Bundler {
   template <typename SendFn>
   void flush(SendFn&& send) {
     if (mode_ == BundleMode::kEager) return;
-    for (auto& [dst, buf] : out_) {
-      if (buf.records == 0) continue;
-      send(dst, buf.writer.take(), buf.records);
-      buf.records = 0;
+    for (auto& [dst, w] : out_) {
+      if (w.empty()) continue;
+      const std::int64_t records = w.records();
+      send(dst, w.take(), records);
     }
   }
 
   /// Records currently staged across all destinations.
   [[nodiscard]] std::int64_t staged_records() const noexcept {
     std::int64_t total = 0;
-    for (const auto& [dst, buf] : out_) total += buf.records;
+    for (const auto& [dst, w] : out_) total += w.records();
     return total;
   }
 
  private:
-  struct OutBuffer {
-    ByteWriter writer;
-    std::int64_t records = 0;
-  };
-
   BundleMode mode_;
   std::size_t flush_threshold_bytes_;
-  std::unordered_map<Rank, OutBuffer> out_;
+  WireCodec codec_;
+  std::unordered_map<Rank, FrameWriter> out_;
 };
 
 /// Per-source staging of one superstep's boundary records, flushed under a
@@ -352,25 +370,26 @@ class Bundler {
 /// as a fabric-level primitive.
 class FanoutStage {
  public:
-  explicit FanoutStage(Rank num_ranks)
-      : dest_payload_(static_cast<std::size_t>(num_ranks)),
-        dest_records_(static_cast<std::size_t>(num_ranks), 0) {}
+  explicit FanoutStage(Rank num_ranks, WireCodec codec = WireCodec::kCompact)
+      : dest_payload_(static_cast<std::size_t>(num_ranks), FrameWriter(codec)),
+        union_payload_(codec) {}
 
-  /// Stages one customized record for dst (kCustomizedNeighbors / -All).
-  template <typename... Fields>
-  void stage(Rank dst, const Fields&... fields) {
-    auto& records = dest_records_[static_cast<std::size_t>(dst)];
-    if (records == 0) touched_.push_back(dst);
+  /// Stages one customized (vertex, color) record for dst
+  /// (kCustomizedNeighbors / -All).
+  void stage(Rank dst, VertexId global, Color c) {
     auto& w = dest_payload_[static_cast<std::size_t>(dst)];
-    (w.put(fields), ...);
-    ++records;
+    if (w.empty()) touched_.push_back(dst);
+    w.begin_record();
+    w.put_id(global);
+    w.put_color(c);
   }
 
-  /// Stages one record of the shared union payload (kBroadcastUnion).
-  template <typename... Fields>
-  void stage_union(const Fields&... fields) {
-    (union_payload_.put(fields), ...);
-    ++union_records_;
+  /// Stages one (vertex, color) record of the shared union payload
+  /// (kBroadcastUnion).
+  void stage_union(VertexId global, Color c) {
+    union_payload_.begin_record();
+    union_payload_.put_id(global);
+    union_payload_.put_color(c);
   }
 
   /// Sends the staged records from src under `policy` and resets the stage.
@@ -381,9 +400,9 @@ class FanoutStage {
     switch (policy) {
       case SendPolicy::kCustomizedNeighbors:
         for (Rank dst : touched_) {
-          send(dst, dest_payload_[static_cast<std::size_t>(dst)].take(),
-               dest_records_[static_cast<std::size_t>(dst)]);
-          dest_records_[static_cast<std::size_t>(dst)] = 0;
+          auto& w = dest_payload_[static_cast<std::size_t>(dst)];
+          const std::int64_t records = w.records();
+          send(dst, w.take(), records);
         }
         break;
       case SendPolicy::kCustomizedAll:
@@ -391,18 +410,18 @@ class FanoutStage {
         // empty for non-neighbors. Same count as FIAB, lower volume.
         for (Rank dst = 0; dst < P; ++dst) {
           if (dst == src) continue;
-          send(dst, dest_payload_[static_cast<std::size_t>(dst)].take(),
-               dest_records_[static_cast<std::size_t>(dst)]);
-          dest_records_[static_cast<std::size_t>(dst)] = 0;
+          auto& w = dest_payload_[static_cast<std::size_t>(dst)];
+          const std::int64_t records = w.records();
+          send(dst, w.take(), records);
         }
         break;
       case SendPolicy::kBroadcastUnion: {
+        const std::int64_t records = union_payload_.records();
         const auto bytes = union_payload_.take();
         for (Rank dst = 0; dst < P; ++dst) {
           if (dst == src) continue;
-          send(dst, bytes, union_records_);
+          send(dst, bytes, records);
         }
-        union_records_ = 0;
         break;
       }
     }
@@ -410,11 +429,9 @@ class FanoutStage {
   }
 
  private:
-  std::vector<ByteWriter> dest_payload_;
-  std::vector<std::int64_t> dest_records_;
+  std::vector<FrameWriter> dest_payload_;
   std::vector<Rank> touched_;
-  ByteWriter union_payload_;
-  std::int64_t union_records_ = 0;
+  FrameWriter union_payload_;
 };
 
 }  // namespace pmc

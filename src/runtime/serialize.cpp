@@ -1,9 +1,174 @@
 #include "runtime/serialize.hpp"
 
-// Header-only; this TU exists to compile the header under library warnings.
+#include <cstdint>
+#include <cstring>
+
+#include "support/rng.hpp"
+
 namespace pmc {
+
 namespace {
-static_assert(sizeof(ByteWriter) > 0);
-static_assert(sizeof(ByteReader) > 0);
+
+constexpr std::uint32_t kFnvOffsetBasis = 0x811C9DC5u;
+constexpr std::uint32_t kFnvPrime = 0x01000193u;
+
+/// Longest LEB128 encoding of a 64-bit value.
+constexpr std::size_t kMaxVarintBytes = 10;
+
 }  // namespace
+
+const char* to_string(WireCodec codec) noexcept {
+  switch (codec) {
+    case WireCodec::kFixed:
+      return "fixed";
+    case WireCodec::kCompact:
+      return "compact";
+  }
+  return "?";
+}
+
+WireCodec parse_wire_codec(const std::string& name) {
+  if (name == "fixed") return WireCodec::kFixed;
+  if (name == "compact") return WireCodec::kCompact;
+  PMC_FAIL("unknown wire codec '" << name << "' (expected fixed|compact)");
+}
+
+std::uint32_t fnv1a32(std::span<const std::byte> bytes) noexcept {
+  std::uint32_t h = kFnvOffsetBasis;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint32_t>(static_cast<std::uint8_t>(b));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::vector<std::byte> FrameWriter::take() {
+  last_id_ = 0;
+  if (records_ == 0) {
+    payload_.clear();
+    return {};
+  }
+  VarintWriter frame;
+  frame.put_u8(static_cast<std::uint8_t>(
+      (kWireFormatVersion << 4) | static_cast<std::uint8_t>(codec_)));
+  frame.put_uvarint(static_cast<std::uint64_t>(records_));
+  frame.put_uvarint(static_cast<std::uint64_t>(payload_.size()));
+  for (const std::byte b : payload_.bytes()) {
+    frame.put_u8(static_cast<std::uint8_t>(b));
+  }
+  const std::uint32_t sum = fnv1a32(frame.bytes());
+  frame.put_raw(sum);
+  payload_.clear();
+  records_ = 0;
+  return frame.take();
+}
+
+FrameReader::FrameReader(std::span<const std::byte> frame) noexcept {
+  parse(frame);
+}
+
+void FrameReader::parse(std::span<const std::byte> frame) noexcept {
+  // Manual bounds-checked parse: a garbled frame must surface as !valid(),
+  // never as an assertion or out-of-range read.
+  const std::size_t n = frame.size();
+  std::size_t pos = 0;
+  const auto u8_at = [&](std::size_t i) {
+    return static_cast<std::uint8_t>(frame[i]);
+  };
+  const auto take_uvarint = [&](std::uint64_t& out) {
+    out = 0;
+    for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+      if (pos >= n) return false;
+      const std::uint8_t b = u8_at(pos++);
+      out |= static_cast<std::uint64_t>(b & 0x7F) << (7 * i);
+      if ((b & 0x80) == 0) return true;
+    }
+    return false;  // varint longer than any 64-bit value
+  };
+
+  if (n < 1 + 1 + 1 + kFrameChecksumBytes) {
+    error_ = "frame too short";
+    return;
+  }
+  const std::uint8_t tag = u8_at(pos++);
+  if ((tag >> 4) != kWireFormatVersion) {
+    error_ = "unknown wire format version";
+    return;
+  }
+  const auto codec = static_cast<WireCodec>(tag & 0x0F);
+  if (codec != WireCodec::kFixed && codec != WireCodec::kCompact) {
+    error_ = "unknown codec tag";
+    return;
+  }
+  std::uint64_t records = 0;
+  std::uint64_t payload_len = 0;
+  if (!take_uvarint(records) || !take_uvarint(payload_len)) {
+    error_ = "truncated frame header";
+    return;
+  }
+  if (records > static_cast<std::uint64_t>(INT64_MAX)) {
+    error_ = "implausible record count";
+    return;
+  }
+  if (pos + kFrameChecksumBytes > n ||
+      payload_len != n - pos - kFrameChecksumBytes) {
+    error_ = "payload length mismatch";
+    return;
+  }
+  std::uint32_t declared = 0;
+  std::memcpy(&declared, frame.data() + (n - kFrameChecksumBytes),
+              kFrameChecksumBytes);
+  if (fnv1a32(frame.subspan(0, n - kFrameChecksumBytes)) != declared) {
+    error_ = "checksum mismatch";
+    return;
+  }
+  codec_ = codec;
+  records_ = static_cast<std::int64_t>(records);
+  payload_ = frame.subspan(pos, payload_len);
+}
+
+std::uint64_t FrameReader::read_uvarint() {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    PMC_CHECK(pos_ < payload_.size(),
+              "frame payload underflow reading varint at offset " << pos_);
+    const auto b = static_cast<std::uint8_t>(payload_[pos_++]);
+    out |= static_cast<std::uint64_t>(b & 0x7F) << (7 * i);
+    if ((b & 0x80) == 0) return out;
+  }
+  PMC_FAIL("overlong varint in frame payload");
+}
+
+std::uint8_t FrameReader::read_u8() {
+  PMC_CHECK(valid(), "reading from an invalid frame: " << error_);
+  return read_raw<std::uint8_t>();
+}
+
+VertexId FrameReader::read_id() {
+  PMC_CHECK(valid(), "reading from an invalid frame: " << error_);
+  if (codec_ == WireCodec::kFixed) return read_raw<VertexId>();
+  last_id_ += read_svarint();
+  return last_id_;
+}
+
+VertexId FrameReader::read_id_rel() {
+  PMC_CHECK(valid(), "reading from an invalid frame: " << error_);
+  if (codec_ == WireCodec::kFixed) return read_raw<VertexId>();
+  return last_id_ + read_svarint();
+}
+
+Color FrameReader::read_color() {
+  PMC_CHECK(valid(), "reading from an invalid frame: " << error_);
+  if (codec_ == WireCodec::kFixed) return read_raw<Color>();
+  const std::int64_t c = read_svarint();
+  return static_cast<Color>(c);
+}
+
+void corrupt_one_bit(std::vector<std::byte>& bytes, std::uint64_t seed) {
+  PMC_REQUIRE(!bytes.empty(), "cannot corrupt an empty buffer");
+  const std::uint64_t h = splitmix64(seed ^ 0xC0DEC0DEC0DEC0DEULL);
+  const std::size_t bit = static_cast<std::size_t>(h % (bytes.size() * 8));
+  bytes[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+}
+
 }  // namespace pmc

@@ -96,16 +96,19 @@ CommStats& CommTrace::round_slot(int round) {
 }
 
 void CommTrace::on_send(double time, Rank src, Rank dst,
-                        std::int64_t total_bytes, std::int64_t records) {
+                        std::int64_t total_bytes, std::int64_t payload_bytes,
+                        std::int64_t records) {
   auto& rank_stats = breakdown_.per_rank[static_cast<std::size_t>(src)];
   rank_stats.messages += 1;
   rank_stats.bytes += total_bytes;
+  rank_stats.payload_bytes += payload_bytes;
   rank_stats.records += records;
 
   const int round = rank_round_[static_cast<std::size_t>(src)];
   auto& round_stats = round_slot(round);
   round_stats.messages += 1;
   round_stats.bytes += total_bytes;
+  round_stats.payload_bytes += payload_bytes;
   round_stats.records += records;
 
   breakdown_.message_size_histogram[CommBreakdown::size_bucket(total_bytes)] +=
@@ -115,7 +118,8 @@ void CommTrace::on_send(double time, Rank src, Rank dst,
     std::ostringstream oss;
     oss << R"({"ev":"send","t":)" << time << R"(,"src":)" << src
         << R"(,"dst":)" << dst << R"(,"bytes":)" << total_bytes
-        << R"(,"records":)" << records << R"(,"round":)" << round << '}';
+        << R"(,"payload":)" << payload_bytes << R"(,"records":)" << records
+        << R"(,"round":)" << round << '}';
     emit_json(oss.str());
   }
 }
@@ -152,6 +156,30 @@ void CommTrace::on_duplicate(double time, Rank src, Rank dst,
     std::ostringstream oss;
     oss << R"({"ev":"dup","t":)" << time << R"(,"src":)" << src
         << R"(,"dst":)" << dst << R"(,"bytes":)" << total_bytes << '}';
+    emit_json(oss.str());
+  }
+}
+
+void CommTrace::on_corrupt(double time, Rank src, Rank dst,
+                           std::int64_t total_bytes) {
+  fault_rank_slot(src).corruptions += 1;
+  fault_round_slot(rank_round_[static_cast<std::size_t>(src)]).corruptions += 1;
+  if (sink_) {
+    std::ostringstream oss;
+    oss << R"({"ev":"corrupt","t":)" << time << R"(,"src":)" << src
+        << R"(,"dst":)" << dst << R"(,"bytes":)" << total_bytes << '}';
+    emit_json(oss.str());
+  }
+}
+
+void CommTrace::on_corruption_detected(double time, Rank dst) {
+  fault_rank_slot(dst).corruptions_detected += 1;
+  fault_round_slot(rank_round_[static_cast<std::size_t>(dst)])
+      .corruptions_detected += 1;
+  if (sink_) {
+    std::ostringstream oss;
+    oss << R"({"ev":"corrupt_detected","t":)" << time << R"(,"rank":)" << dst
+        << '}';
     emit_json(oss.str());
   }
 }

@@ -79,9 +79,10 @@ class CommTrace {
   /// Charged compute with an explicit one-shot phase.
   void on_compute(Rank r, double seconds, WorkPhase phase);
 
-  /// One point-to-point message; `total_bytes` includes the envelope.
+  /// One point-to-point message; `total_bytes` includes the envelope,
+  /// `payload_bytes` is the encoded payload alone.
   void on_send(double time, Rank src, Rank dst, std::int64_t total_bytes,
-               std::int64_t records);
+               std::int64_t payload_bytes, std::int64_t records);
 
   /// One barrier / allreduce completing at `time`.
   void on_collective(double time);
@@ -91,7 +92,9 @@ class CommTrace {
   /// backoff to the retransmitting rank) at that rank's current round label.
   void on_drop(double time, Rank src, Rank dst, std::int64_t total_bytes);
   void on_duplicate(double time, Rank src, Rank dst, std::int64_t total_bytes);
+  void on_corrupt(double time, Rank src, Rank dst, std::int64_t total_bytes);
   void on_dup_suppressed(double time, Rank dst);
+  void on_corruption_detected(double time, Rank dst);
   void on_retry(double time, Rank src, Rank dst, int attempt);
   void on_backoff(Rank src, double seconds);
 

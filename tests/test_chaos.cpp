@@ -10,6 +10,8 @@
 //  - determinism: a fixed fault seed reproduces the run to the last bit.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/pmc.hpp"
@@ -60,6 +62,16 @@ void expect_same_run(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(fa.duplicates, fb.duplicates);
   EXPECT_EQ(fa.retries, fb.retries);
   EXPECT_EQ(fa.backoff_seconds, fb.backoff_seconds);
+  EXPECT_EQ(fa.corruptions, fb.corruptions);
+  EXPECT_EQ(fa.corruptions_detected, fb.corruptions_detected);
+}
+
+/// The checksum invariant: every injected corruption must have been caught
+/// at a receiver — none decoded into the algorithm.
+void expect_all_corruptions_detected(const RunResult& r) {
+  const FaultStats f = r.breakdown.total_faults();
+  EXPECT_GT(f.corruptions, 0) << "scenario injected no corruption";
+  EXPECT_EQ(f.corruptions_detected, f.corruptions);
 }
 
 // ---- matching ---------------------------------------------------------------
@@ -170,6 +182,49 @@ TEST_F(MatchingChaos, ReliableTailSurvivesTotalLoss) {
   EXPECT_GT(f.backoff_seconds, 0.0);
 }
 
+TEST_F(MatchingChaos, CorruptionIsDetectedAndRetried) {
+  // A garbled frame fails checksum validation at the receiver, which then
+  // refuses to ack it — the sender's timer retransmits from the pristine
+  // copy, so the matching is bit-identical to the fault-free baseline.
+  auto opt = with_env_exec(DistMatchingOptions{});
+  opt.faults.corrupt_rate = 0.25;
+  opt.faults.seed = 50;
+  const auto r = match_distributed(dist_, opt);
+  EXPECT_EQ(r.matching.mate, baseline_.matching.mate);
+  expect_all_corruptions_detected(r.run);
+  EXPECT_GT(r.run.breakdown.total_faults().retries, 0);
+  EXPECT_GE(r.run.sim_seconds, baseline_.run.sim_seconds);
+}
+
+TEST_F(MatchingChaos, TotalGarblingStillRecoversViaReliableTail) {
+  // Every regular attempt is corrupted; only the fault-exempt final attempt
+  // of each message arrives intact. Checksums must catch 100% of the
+  // garbled frames and the matching must still be exact.
+  auto opt = with_env_exec(DistMatchingOptions{});
+  opt.faults.corrupt_rate = 1.0;
+  opt.faults.seed = 52;
+  opt.faults.max_attempts = 3;
+  const auto r = match_distributed(dist_, opt);
+  EXPECT_EQ(r.matching.mate, baseline_.matching.mate);
+  expect_all_corruptions_detected(r.run);
+  EXPECT_GT(r.run.breakdown.total_faults().retries, 0);
+}
+
+TEST_F(MatchingChaos, CorruptionComposesWithDropsAndDuplicates) {
+  auto opt = with_env_exec(DistMatchingOptions{});
+  opt.faults.drop_rate = 0.05;
+  opt.faults.duplicate_rate = 0.02;
+  opt.faults.corrupt_rate = 0.05;
+  opt.faults.seed = 53;
+  const auto a = match_distributed(dist_, opt);
+  EXPECT_EQ(a.matching.mate, baseline_.matching.mate);
+  expect_all_corruptions_detected(a.run);
+  // And the combined schedule still pins for a fixed seed.
+  const auto b = match_distributed(dist_, opt);
+  EXPECT_EQ(a.matching.mate, b.matching.mate);
+  expect_same_run(a.run, b.run);
+}
+
 TEST_F(MatchingChaos, ExhaustedRetryBudgetIsAHardError) {
   auto opt = with_env_exec(DistMatchingOptions{});
   opt.faults.drop_rate = 1.0;
@@ -258,6 +313,71 @@ TEST_F(ColoringChaos, DroppedAnnouncementsForceRepairReentry) {
   EXPECT_TRUE(is_proper_coloring(g_, r.coloring, &why)) << why;
 }
 
+TEST_F(ColoringChaos, CorruptedAnnouncementsEnterRepair) {
+  // The BSP engine discards a garbled boundary-color frame after checksum
+  // validation fails; the send receipt tells the sender, which re-enters
+  // the affected vertices into conflict repair — exactly the drop path.
+  auto opt = with_env_exec(DistColoringOptions::improved());
+  opt.faults.corrupt_rate = 0.20;
+  opt.faults.seed = 61;
+  const auto r = color_distributed(dist_, opt);
+  EXPECT_GT(r.fault_reentries, 0);
+  std::string why;
+  EXPECT_TRUE(is_proper_coloring(g_, r.coloring, &why)) << why;
+  EXPECT_EQ(verify_coloring_distributed(dist_, r.coloring).violations, 0);
+  expect_all_corruptions_detected(r.run);
+  // BSP recovery is algorithmic (repair re-entry), not transport retries.
+  EXPECT_EQ(r.run.breakdown.total_faults().retries, 0);
+}
+
+TEST_F(ColoringChaos, CorruptionSweepStaysConflictFreeAcrossAllModes) {
+  const std::vector<DistColoringOptions> presets = {
+      DistColoringOptions::improved(), DistColoringOptions::fiab(),
+      DistColoringOptions::fiac()};
+  FaultStats total;
+  std::uint64_t seed = 71;
+  for (const auto& preset : presets) {
+    for (const double rate : {0.02, 0.10, 0.25}) {
+      SCOPED_TRACE("comm_mode=" + std::to_string(int(preset.comm_mode)) +
+                   " corrupt=" + std::to_string(rate));
+      auto opt = with_env_exec(preset);
+      opt.faults.corrupt_rate = rate;
+      opt.faults.seed = seed++;
+      const auto r = color_distributed(dist_, opt);
+      std::string why;
+      EXPECT_TRUE(is_proper_coloring(g_, r.coloring, &why)) << why;
+      EXPECT_EQ(verify_coloring_distributed(dist_, r.coloring).violations, 0);
+      total += r.run.breakdown.total_faults();
+    }
+  }
+  EXPECT_GT(total.corruptions, 0);
+  EXPECT_EQ(total.corruptions_detected, total.corruptions);
+}
+
+TEST_F(ColoringChaos, CorruptionEventsAppearInTheJsonlTrace) {
+  auto opt = with_env_exec(DistColoringOptions::improved());
+  opt.faults.corrupt_rate = 0.20;
+  opt.faults.seed = 61;
+  opt.trace.jsonl_path = testing::TempDir() + "pmc_chaos_corrupt.jsonl";
+  const auto r = color_distributed(dist_, opt);
+  expect_all_corruptions_detected(r.run);
+  std::ifstream in(opt.trace.jsonl_path);
+  ASSERT_TRUE(in.good());
+  std::int64_t corrupt_lines = 0, detected_lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.find(R"("ev":"corrupt")") != std::string::npos &&
+        line.find("corrupt_detected") == std::string::npos) {
+      ++corrupt_lines;
+    }
+    if (line.find(R"("ev":"corrupt_detected")") != std::string::npos) {
+      ++detected_lines;
+    }
+  }
+  const FaultStats f = r.run.breakdown.total_faults();
+  EXPECT_EQ(corrupt_lines, f.corruptions);
+  EXPECT_EQ(detected_lines, f.corruptions_detected);
+}
+
 // ---- distance-2 coloring ----------------------------------------------------
 
 TEST(Distance2Chaos, SweepStaysProper) {
@@ -284,6 +404,18 @@ TEST(Distance2Chaos, RunsAreBitIdenticalForAFixedSeed) {
   const auto b = color_distance2_distributed_native(g, p, opt);
   EXPECT_EQ(a.coloring.color, b.coloring.color);
   expect_same_run(a.run, b.run);
+}
+
+TEST(Distance2Chaos, CorruptionStaysProper) {
+  const Graph g = grid_2d(16, 16, WeightKind::kUnit, 3);
+  const Partition p = grid_2d_partition(16, 16, 2, 2);
+  auto opt = with_env_exec(DistColoringOptions{});
+  opt.faults.corrupt_rate = 0.20;
+  opt.faults.seed = 57;
+  const auto r = color_distance2_distributed_native(g, p, opt);
+  std::string why;
+  EXPECT_TRUE(is_proper_distance2_coloring(g, r.coloring, &why)) << why;
+  expect_all_corruptions_detected(r.run);
 }
 
 }  // namespace

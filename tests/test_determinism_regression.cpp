@@ -6,9 +6,16 @@
 // the original engines and must keep reproducing to the last bit. If an
 // intentional cost-model or protocol change moves them, re-pin the constants
 // in the same change and say why.
+//
+// Re-pinned once for the compact wire codec (varint + delta encoding is the
+// default, frames carry a header and checksum, and the α–β/LogP cost is
+// charged on the encoded bytes): volumes shrink ~45-65%, so modelled times
+// and — where arrival order feeds back into bundling or retries — message
+// and record counts move with them.
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -70,20 +77,20 @@ TEST(DeterminismRegression, DistributedMatchingScenarios) {
   DistMatchingOptions bundled;
   const auto rb = match_distributed(dist, bundled);
   expect_pinned(rb.run, rb.max_activations,
-                {7.13982000000031e-05, 42, 7634, 370, 0, 8});
+                {7.1085000000003078e-05, 42, 2900, 370, 0, 8});
 
   DistMatchingOptions unbundled;
   unbundled.bundled = false;
   const auto ru = match_distributed(dist, unbundled);
   expect_pinned(ru.run, ru.max_activations,
-                {0.00014886460000000065, 370, 18130, 370, 0, 59});
+                {0.00014883220000000067, 370, 15902, 370, 0, 59});
 
   DistMatchingOptions jittered;
   jittered.jitter_seconds = 2e-6;
   jittered.jitter_seed = 7;
   const auto rj = match_distributed(dist, jittered);
   expect_pinned(rj.run, rj.max_activations,
-                {7.39322960400553e-05, 41, 7568, 368, 0, 8});
+                {7.5487477390118407e-05, 42, 2900, 370, 0, 8});
 
   // Bundling and jitter change the schedule, never the matching itself.
   EXPECT_EQ(rb.matching.mate, ru.matching.mate);
@@ -98,15 +105,15 @@ TEST(DeterminismRegression, DistributedColoringScenarios) {
 
   const auto rn = color_distributed(dist, DistColoringOptions::improved());
   expect_pinned(rn.run, rn.rounds,
-                {0.0001315559999999999, 87, 7860, 423, 6, 3});
+                {0.0001314047999999999, 87, 4373, 423, 6, 3});
 
   const auto rf = color_distributed(dist, DistColoringOptions::fiab());
   expect_pinned(rf.run, rf.rounds,
-                {0.00016777360000000017, 231, 41244, 2821, 6, 3});
+                {0.00016563790000000017, 231, 14392, 2821, 6, 3});
 
   const auto rc = color_distributed(dist, DistColoringOptions::fiac());
   expect_pinned(rc.run, rc.rounds,
-                {0.0001443111999999999, 119, 8884, 423, 6, 3});
+                {0.00014416809999999989, 119, 5397, 423, 6, 3});
 }
 
 // Fault-injection scenarios. The fault layer is deterministic in
@@ -140,8 +147,8 @@ TEST(DeterminismRegression, FaultInjectedMatchingScenarios) {
   faulty.faults.seed = 14;
   const auto rf = match_distributed(dist, faulty);
   expect_pinned(rf.run, rf.max_activations,
-                {9.2329800000002539e-05, 88, 10604, 396, 0, 8});
-  expect_pinned_faults(rf.run, {2, 1, 2, 2.0860999999994988e-06});
+                {9.1800600000002382e-05, 88, 5486, 384, 0, 8});
+  expect_pinned_faults(rf.run, {2, 1, 2, 5.4890999999987207e-06});
 
   // Jitter and injected delay compose with drops/duplicates; the combined
   // schedule still pins.
@@ -152,8 +159,8 @@ TEST(DeterminismRegression, FaultInjectedMatchingScenarios) {
   both.faults.max_extra_delay_seconds = 1e-5;
   const auto rj = match_distributed(dist, both);
   expect_pinned(rj.run, rj.max_activations,
-                {0.00010574466377628834, 85, 10064, 372, 0, 8});
-  expect_pinned_faults(rj.run, {2, 1, 2, 7.6058757731121713e-06});
+                {0.00010145877865126619, 93, 5802, 407, 0, 8});
+  expect_pinned_faults(rj.run, {2, 1, 4, 5.8546506304334156e-06});
 
   // Faults never change the matching itself: the transport recovers every
   // lost record and the locally-dominant matching is unique.
@@ -174,7 +181,7 @@ TEST(DeterminismRegression, FaultInjectedColoringScenario) {
   opt.faults.seed = 14;
   const auto r = color_distributed(dist, opt);
   expect_pinned(r.run, r.rounds,
-                {0.00013277879999999993, 89, 8008, 430, 6, 3});
+                {0.0001327085999999999, 89, 4467, 430, 6, 3});
   expect_pinned_faults(r.run, {2, 1, 0, 0.0});
   EXPECT_EQ(r.fault_reentries, 7);
 }
@@ -188,7 +195,7 @@ TEST(DeterminismRegression, FaultInjectedDistance2Scenario) {
   opt.faults.seed = 15;
   const auto r = color_distance2_distributed_native(g, p, opt);
   expect_pinned(r.run, r.rounds,
-                {0.0001647219999999995, 34, 4400, 276, 8, 4});
+                {0.0001641873999999995, 34, 1909, 276, 8, 4});
   expect_pinned_faults(r.run, {5, 1, 0, 0.0});
 }
 
@@ -197,7 +204,7 @@ TEST(DeterminismRegression, Distance2ColoringScenario) {
   const Partition p = grid_2d_partition(20, 20, 2, 2);
   const auto rd = color_distance2_distributed_native(g, p, {});
   expect_pinned(rd.run, rd.rounds,
-                {0.00011627519999999997, 25, 3272, 206, 6, 3});
+                {0.00011569199999999996, 25, 1410, 206, 6, 3});
 }
 
 // ---------------------------------------------------------------------------

@@ -340,25 +340,37 @@ struct SendLog {
   [[nodiscard]] std::vector<int> decode_ids() const {
     std::vector<int> ids;
     for (const auto& s : sent) {
-      ByteReader r(s.payload);
-      std::int64_t count = 0;
-      while (!r.done()) {
-        ids.push_back(r.get<int>());
-        ++count;
+      if (s.payload.empty()) {
+        EXPECT_EQ(s.records, 0) << "empty frame claimed records";
+        continue;
       }
-      EXPECT_EQ(count, s.records) << "record count disagrees with payload";
+      FrameReader r(s.payload);
+      EXPECT_TRUE(r.valid()) << r.error();
+      EXPECT_EQ(r.records(), s.records)
+          << "record count disagrees with payload";
+      for (std::int64_t i = 0; i < r.records(); ++i) {
+        ids.push_back(static_cast<int>(r.read_id()));
+      }
+      EXPECT_TRUE(r.done()) << "trailing bytes after the last record";
     }
     return ids;
   }
 };
 
 std::vector<int> bundler_round_trip(BundleMode mode, std::size_t threshold,
-                                    int num_records, SendLog& log) {
-  Bundler bundler(mode, threshold);
+                                    int num_records, SendLog& log,
+                                    WireCodec codec = WireCodec::kCompact) {
+  Bundler bundler(mode, threshold, codec);
   std::vector<int> staged;
   for (int i = 0; i < num_records; ++i) {
     const Rank dst = static_cast<Rank>(i % 3);
-    bundler.add(dst, [i](ByteWriter& w) { w.put(i); }, log.sink());
+    bundler.add(
+        dst,
+        [i](FrameWriter& w) {
+          w.begin_record();
+          w.put_id(i);
+        },
+        log.sink());
     staged.push_back(i);
   }
   bundler.flush(log.sink());
@@ -388,7 +400,13 @@ TEST(Bundler, BundledFlushLosesAndDuplicatesNothing) {
 TEST(Bundler, SecondFlushSendsNothing) {
   SendLog log;
   Bundler bundler(BundleMode::kBundled);
-  bundler.add(1, [](ByteWriter& w) { w.put(7); }, log.sink());
+  bundler.add(
+      1,
+      [](FrameWriter& w) {
+        w.begin_record();
+        w.put_id(7);
+      },
+      log.sink());
   bundler.flush(log.sink());
   const std::size_t after_first = log.sent.size();
   bundler.flush(log.sink());
@@ -398,11 +416,12 @@ TEST(Bundler, SecondFlushSendsNothing) {
 
 TEST(Bundler, ThresholdFlushBoundsStagedBytesWithoutLoss) {
   SendLog log;
-  // Each record is sizeof(int) = 4 bytes; threshold 8 flushes every 2nd
-  // record per destination.
-  const auto staged = bundler_round_trip(BundleMode::kBundled, 8, 30, log);
+  // With the fixed codec each record's payload is sizeof(VertexId) = 8
+  // bytes, so threshold 16 flushes every 2nd record per destination.
+  const auto staged = bundler_round_trip(BundleMode::kBundled, 16, 30, log,
+                                         WireCodec::kFixed);
   for (const auto& s : log.sent) {
-    EXPECT_LE(s.payload.size(), 8u);
+    EXPECT_LE(s.records, 2);
     EXPECT_GE(s.records, 1);
   }
   EXPECT_GT(log.sent.size(), 3u);  // more messages than plain bundling

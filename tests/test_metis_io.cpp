@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/metis_io.hpp"
 #include "support/error.hpp"
@@ -64,6 +66,10 @@ TEST(MetisIo, RejectsMalformedInputs) {
     EXPECT_THROW((void)read_metis_graph(in), Error);
   }
   {
+    std::istringstream in("2 1 abc\n2\n1\n");  // unknown fmt string
+    EXPECT_THROW((void)read_metis_graph(in), Error);
+  }
+  {
     std::istringstream in("2 1\n2\n5\n");  // neighbor out of range
     EXPECT_THROW((void)read_metis_graph(in), Error);
   }
@@ -78,6 +84,87 @@ TEST(MetisIo, RejectsMalformedInputs) {
   {
     std::istringstream in("3 1\n2\n1\n");  // missing adjacency line
     EXPECT_THROW((void)read_metis_graph(in), Error);
+  }
+}
+
+TEST(MetisIo, VertexWeightFmtGetsASpecificError) {
+  // fmt "10" and "11" are valid METIS (vertex weights), which this reader
+  // deliberately does not support — the error must say so rather than fall
+  // into the generic "unsupported fmt" bucket.
+  for (const char* fmt : {"10", "11"}) {
+    std::istringstream in(std::string("2 1 ") + fmt + "\n1 2\n1 1\n");
+    try {
+      (void)read_metis_graph(in);
+      FAIL() << "fmt " << fmt << " accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("vertex weights"),
+                std::string::npos)
+          << "error for fmt " << fmt
+          << " does not mention vertex weights: " << e.what();
+    }
+  }
+}
+
+TEST(MetisIo, RoundTripIsolatedVerticesAndComments) {
+  // Vertices 2 and 5 (1-based 3 and 6) are isolated; their adjacency lines
+  // are empty. Write, splice METIS % comments between the lines, and read
+  // back: the comment lines must be skipped without consuming a vertex's
+  // (possibly empty) adjacency line.
+  GraphBuilder builder(6, false, DuplicatePolicy::kError);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 3);
+  builder.add_edge(3, 4);
+  const Graph g = std::move(builder).build();
+
+  std::ostringstream out;
+  write_metis_graph(out, g);
+  // Interleave comments: after the header and before every adjacency line.
+  std::istringstream plain(out.str());
+  std::ostringstream spliced;
+  std::string line;
+  bool first = true;
+  while (std::getline(plain, line)) {
+    spliced << "% comment " << (first ? "header" : "row") << "\n"
+            << line << "\n";
+    first = false;
+  }
+  spliced << "% trailing comment\n";
+
+  std::istringstream in(spliced.str());
+  const Graph h = read_metis_graph(in);
+  h.validate();
+  EXPECT_EQ(h.num_vertices(), 6);
+  EXPECT_EQ(h.num_edges(), 3);
+  EXPECT_EQ(h.degree(2), 0);
+  EXPECT_EQ(h.degree(5), 0);
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(1, 3));
+  EXPECT_TRUE(h.has_edge(3, 4));
+}
+
+TEST(MetisIo, WriterEmitsFmtOneOnlyWhenWeighted) {
+  // The writer must emit fmt "1" (edge weights) and nothing else — never a
+  // vertex-weight fmt the reader would reject.
+  {
+    GraphBuilder builder(3, false, DuplicatePolicy::kError);
+    builder.add_edge(0, 1);
+    builder.add_edge(1, 2);
+    const Graph g = std::move(builder).build();
+    std::ostringstream out;
+    write_metis_graph(out, g);
+    std::istringstream header(out.str());
+    std::string line;
+    std::getline(header, line);
+    EXPECT_EQ(line, "3 2");
+  }
+  {
+    const Graph g = erdos_renyi(10, 15, WeightKind::kIntegral, 9);
+    std::ostringstream out;
+    write_metis_graph(out, g);
+    std::istringstream header(out.str());
+    std::string line;
+    std::getline(header, line);
+    EXPECT_EQ(line, "10 15 1");
   }
 }
 

@@ -1,6 +1,9 @@
 // Tests for the simple partitions and partition metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "graph/generators.hpp"
 #include "partition/partition.hpp"
 #include "partition/simple.hpp"
@@ -61,6 +64,61 @@ TEST(GridPartition, BlocksAreRectangles) {
 
 TEST(GridPartition, RejectsOversizedProcessorGrid) {
   EXPECT_THROW((void)grid_2d_partition(2, 2, 3, 1), Error);
+}
+
+TEST(GridPartition, NonDivisibleGridLeavesNoRankEmpty) {
+  // Regression: the old ceil-division blocking (block_r = ceil(rows / pr))
+  // left trailing processor rows empty whenever pr did not divide rows.
+  // rows=5, pr=4 mapped vertex rows only onto processor rows {0, 1, 2} and
+  // rank row 3 owned nothing.
+  for (const VertexId rows : {5, 7, 9, 11, 13}) {
+    for (const VertexId cols : {5, 6, 10, 13}) {
+      for (const Rank pr : {1, 2, 3, 4, 5}) {
+        for (const Rank pc : {1, 2, 3, 4, 5}) {
+          if (pr > rows || pc > cols) continue;
+          const Partition p = grid_2d_partition(rows, cols, pr, pc);
+          ASSERT_EQ(p.num_parts(), pr * pc);
+          const auto sizes = p.part_sizes();
+          for (Rank r = 0; r < pr * pc; ++r) {
+            EXPECT_GT(sizes[static_cast<std::size_t>(r)], 0)
+                << rows << "x" << cols << " on " << pr << "x" << pc
+                << ": rank " << r << " owns nothing";
+          }
+          // Balance within one block: no part larger than
+          // ceil(rows/pr) * ceil(cols/pc).
+          const VertexId bound =
+              ((rows + pr - 1) / pr) * ((cols + pc - 1) / pc);
+          for (const VertexId s : sizes) EXPECT_LE(s, bound);
+        }
+      }
+    }
+  }
+}
+
+TEST(GridPartition, NonDivisibleBlocksAreRectangles) {
+  // Every part must still be a contiguous rectangle: the set of rows and
+  // columns a part touches must have size rows*cols == part size.
+  const VertexId rows = 5, cols = 7;
+  const Rank pr = 4, pc = 3;
+  const Partition p = grid_2d_partition(rows, cols, pr, pc);
+  for (Rank part = 0; part < pr * pc; ++part) {
+    std::vector<VertexId> rset, cset;
+    for (const VertexId v : p.vertices_of(part)) {
+      rset.push_back(v / cols);
+      cset.push_back(v % cols);
+    }
+    std::sort(rset.begin(), rset.end());
+    rset.erase(std::unique(rset.begin(), rset.end()), rset.end());
+    std::sort(cset.begin(), cset.end());
+    cset.erase(std::unique(cset.begin(), cset.end()), cset.end());
+    EXPECT_EQ(static_cast<VertexId>(rset.size() * cset.size()),
+              static_cast<VertexId>(p.vertices_of(part).size()));
+    // Contiguous row/column ranges.
+    EXPECT_EQ(rset.back() - rset.front() + 1,
+              static_cast<VertexId>(rset.size()));
+    EXPECT_EQ(cset.back() - cset.front() + 1,
+              static_cast<VertexId>(cset.size()));
+  }
 }
 
 TEST(FactorProcessorGrid, NearSquareFactors) {
