@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CI driver: tier-1 verify (full build + test suite), an ASan+UBSan build of
-# the runtime- and distributed-algorithm-facing tests, and a TSan build that
-# runs the threaded execution backend under the race detector.
+# CI driver: tier-1 verify (full build + test suite), a lint stage (pmc-lint
+# determinism/protocol rules + clang-tidy when available), an ASan+UBSan
+# build of the runtime- and distributed-algorithm-facing tests, and a TSan
+# build that runs the threaded execution backend under the race detector.
 #
 #   ./ci.sh          # all stages
 #   ./ci.sh tier1    # tier-1 only
+#   ./ci.sh lint     # lint stage only
 #   ./ci.sh asan     # ASan+UBSan stage only
 #   ./ci.sh tsan     # ThreadSanitizer stage only
 set -euo pipefail
@@ -15,7 +17,9 @@ STAGE="${1:-all}"
 
 tier1() {
   echo "==== tier-1: build + full test suite ===="
-  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  # PMC_HARDENED_WERROR promotes -Wconversion/-Wdouble-promotion/
+  # -Wimplicit-fallthrough to errors in CI; the tree must stay clean.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DPMC_HARDENED_WERROR=ON
   cmake --build build -j "$JOBS"
   # --timeout is a backstop for tests predating the per-test TIMEOUT
   # properties; a wedged simulation fails instead of hanging CI.
@@ -23,6 +27,27 @@ tier1() {
   # The codec ablation self-checks: identical results under both codecs,
   # compact payload <= fixed payload per row, and >= 30% total reduction.
   ./build/bench/bench_ablation_codec --json=build/BENCH_codec.json
+}
+
+lint() {
+  echo "==== lint: pmc-lint determinism rules + clang-tidy ===="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DPMC_HARDENED_WERROR=ON
+  cmake --build build -j "$JOBS" --target pmc-lint
+  # pmc-lint exits nonzero on any unsuppressed D1-D5 diagnostic; the JSON
+  # report lands next to the other CI artifacts.
+  ./build/tools/pmc-lint/pmc-lint \
+    --compile-commands=build/compile_commands.json --root=. \
+    --json=build/LINT_report.json
+  # clang-tidy is optional tooling (not baked into every image): run the
+  # curated .clang-tidy profile when present, skip loudly when not. The
+  # profile's WarningsAsErrors makes any bugprone/concurrency/performance
+  # hit fail this stage.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    grep -o '"file": "[^"]*"' build/compile_commands.json | cut -d'"' -f4 |
+      grep '/src/' | sort -u | xargs clang-tidy -p build --quiet
+  else
+    echo "lint: clang-tidy not on PATH; skipped (pmc-lint stage still ran)"
+  fi
 }
 
 asan() {
@@ -81,9 +106,10 @@ tsan() {
 
 case "$STAGE" in
   tier1) tier1 ;;
+  lint) lint ;;
   asan) asan ;;
   tsan) tsan ;;
-  all) tier1; asan; tsan ;;
-  *) echo "usage: $0 [tier1|asan|tsan|all]" >&2; exit 2 ;;
+  all) tier1; lint; asan; tsan ;;
+  *) echo "usage: $0 [tier1|lint|asan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "ci.sh: all requested stages passed"

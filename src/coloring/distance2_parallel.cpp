@@ -212,6 +212,9 @@ DistColoringResult color_distance2_distributed_native(
                    (void)reader.read_color();
                    lost[static_cast<std::size_t>(src)].insert(global);
                  }
+                 PMC_CHECK(reader.done(),
+                           "trailing garbage after the last lost-color "
+                           "record");
                });
     };
   };

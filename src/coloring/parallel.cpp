@@ -177,6 +177,9 @@ DistColoringResult color_distributed(const DistGraph& dist,
                    (void)reader.read_color();
                    lost[static_cast<std::size_t>(src)].insert(global);
                  }
+                 PMC_CHECK(reader.done(),
+                           "trailing garbage after the last lost-color "
+                           "record");
                });
     };
   };

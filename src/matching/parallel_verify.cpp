@@ -7,6 +7,7 @@
 #include "runtime/bsp_engine.hpp"
 #include "runtime/serialize.hpp"
 #include "support/error.hpp"
+#include "support/sorted.hpp"
 #include "support/timer.hpp"
 
 namespace pmc {
@@ -47,7 +48,10 @@ DistVerifyResult verify_matching_distributed(const DistGraph& dist,
         w.put_id_rel(mate);
       }
     }
-    for (auto& [dst, writer] : out) {
+    // Ship in ascending destination order (D1): hash-order sends would tie
+    // the message sequence to the unordered map's bucket layout.
+    for (const Rank dst : sorted_keys(out)) {
+      FrameWriter& writer = out.at(dst);
       const std::int64_t records = writer.records();
       ctx.send(dst, writer.take(), records);
     }

@@ -31,6 +31,7 @@
 #include "runtime/machine_model.hpp"
 #include "runtime/serialize.hpp"
 #include "runtime/trace.hpp"
+#include "support/sorted.hpp"
 #include "support/types.hpp"
 
 namespace pmc {
@@ -340,11 +341,15 @@ class Bundler {
     }
   }
 
-  /// Sends every non-empty staged bundle (bundled mode; no-op when eager).
+  /// Sends every non-empty staged bundle in ascending destination order
+  /// (bundled mode; no-op when eager). Staging uses an unordered map, but
+  /// the flush order must never depend on its bucket layout: the send
+  /// sequence feeds FIFO channels, jitter and fault verdicts downstream.
   template <typename SendFn>
   void flush(SendFn&& send) {
     if (mode_ == BundleMode::kEager) return;
-    for (auto& [dst, w] : out_) {
+    for (const Rank dst : sorted_keys(out_)) {
+      FrameWriter& w = out_.at(dst);
       if (w.empty()) continue;
       const std::int64_t records = w.records();
       send(dst, w.take(), records);
@@ -354,6 +359,7 @@ class Bundler {
   /// Records currently staged across all destinations.
   [[nodiscard]] std::int64_t staged_records() const noexcept {
     std::int64_t total = 0;
+    // pmc-lint: allow(D1): order-independent integer sum, no sends
     for (const auto& [dst, w] : out_) total += w.records();
     return total;
   }

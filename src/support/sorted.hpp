@@ -1,0 +1,53 @@
+// Sorted snapshots of unordered associative containers.
+//
+// The determinism contract (DESIGN.md §7, lint rule D1) forbids iterating
+// std::unordered_map / std::unordered_set anywhere the visit order can leak
+// into observable behavior — above all the send paths, where hash-order
+// iteration would make the message sequence depend on the standard library's
+// bucket layout instead of on the algorithm. These helpers are the blessed
+// escape hatch: take a snapshot of the keys (or items), sort it, and iterate
+// that. The O(n log n) is paid only where an ordered traversal is actually
+// required; pure membership tests and order-independent integer folds keep
+// using the unordered container directly.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace pmc {
+
+/// Keys of an unordered map/set, ascending. The returned vector is an
+/// independent snapshot: mutating the container while walking it is safe.
+template <typename Container>
+[[nodiscard]] std::vector<typename Container::key_type> sorted_keys(
+    const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& entry : c) {
+    if constexpr (requires { entry.first; }) {
+      keys.push_back(entry.first);
+    } else {
+      keys.push_back(entry);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// (key, copy-of-value) pairs of a map, ascending by key. Use sorted_keys +
+/// find when values are expensive to copy.
+template <typename Map>
+[[nodiscard]] std::vector<
+    std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(m.size());
+  for (const auto& [k, v] : m) items.emplace_back(k, v);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace pmc

@@ -397,6 +397,32 @@ TEST(Bundler, BundledFlushLosesAndDuplicatesNothing) {
   EXPECT_EQ(ids, staged);
 }
 
+TEST(Bundler, FlushEmitsBundlesInAscendingDestinationOrder) {
+  // Determinism pin for the D1 lint migration: flush order must be the
+  // sorted destination order, never the staging map's bucket order — the
+  // send sequence feeds FIFO channels, jitter and fault verdicts. Stage
+  // destinations deliberately out of order and at a size that forces the
+  // unordered_map through at least one rehash.
+  SendLog log;
+  Bundler bundler(BundleMode::kBundled);
+  const Rank dsts[] = {41, 3, 29, 7, 101, 0, 57, 19, 83, 11,
+                       67, 5, 97, 23, 31, 2,  89, 13, 71, 47};
+  for (const Rank dst : dsts) {
+    bundler.add(
+        dst,
+        [dst](FrameWriter& w) {
+          w.begin_record();
+          w.put_id(dst);
+        },
+        log.sink());
+  }
+  bundler.flush(log.sink());
+  ASSERT_EQ(log.sent.size(), std::size(dsts));
+  for (std::size_t i = 1; i < log.sent.size(); ++i) {
+    EXPECT_LT(log.sent[i - 1].dst, log.sent[i].dst);
+  }
+}
+
 TEST(Bundler, SecondFlushSendsNothing) {
   SendLog log;
   Bundler bundler(BundleMode::kBundled);

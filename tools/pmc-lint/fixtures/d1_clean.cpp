@@ -1,0 +1,21 @@
+// Fixture: D1 must stay silent — the staging map is walked through the
+// sorted-snapshot helper, and a plain vector iteration is never flagged.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/sorted.hpp"
+
+struct FrameWriter {};
+using Rank = std::int32_t;
+
+void ship(void (*send)(Rank, FrameWriter&)) {
+  std::unordered_map<Rank, FrameWriter> out;
+  for (const Rank dst : pmc::sorted_keys(out)) {
+    send(dst, out.at(dst));
+  }
+  std::vector<Rank> touched;
+  for (const Rank dst : touched) {
+    send(dst, out.at(dst));
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: D1 must fire — range-iteration over an unordered map feeding a
+// send. The file is scan fodder for the lint fixture suite, not compiled.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct FrameWriter {};
+using Rank = std::int32_t;
+
+void ship(void (*send)(Rank, FrameWriter&)) {
+  std::unordered_map<Rank, FrameWriter> out;
+  for (auto& [dst, w] : out) {
+    send(dst, w);
+  }
+}

@@ -1,0 +1,21 @@
+// Fixture: D2 must stay silent — seeded pmc::Rng, a member function that
+// happens to be called time(), a declaration of one, and steady_clock are
+// all fine.
+#include <chrono>
+#include <cstdint>
+
+struct Engine {
+  double time_ = 0.0;
+  [[nodiscard]] double time() const { return time_; }
+};
+
+double modelled_time(const Engine& engine) {
+  return engine.time();
+}
+
+std::int64_t wall_nanos() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}

@@ -1,0 +1,20 @@
+// Fixture: D3 must fire — a message struct shipped as raw bytes with memcpy
+// and decoded with reinterpret_cast instead of the frame codec.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+struct WireRecord {
+  std::int64_t vertex;
+  std::int32_t color;
+};
+
+std::vector<std::byte> encode_raw(const WireRecord& rec) {
+  std::vector<std::byte> bytes(sizeof(WireRecord));
+  std::memcpy(bytes.data(), &rec, sizeof(WireRecord));
+  return bytes;
+}
+
+WireRecord decode_raw(const std::vector<std::byte>& bytes) {
+  return *reinterpret_cast<const WireRecord*>(bytes.data());
+}

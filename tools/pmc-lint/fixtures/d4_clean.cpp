@@ -1,0 +1,28 @@
+// Fixture: D4 must stay silent — the decode loop ends with a done() check,
+// and a validity-only temporary (no reads) needs none.
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+struct FrameReader {
+  explicit FrameReader(std::span<const std::byte>) {}
+  [[nodiscard]] bool valid() const { return true; }
+  [[nodiscard]] std::int64_t records() const { return 0; }
+  [[nodiscard]] std::int64_t read_id() { return 0; }
+  [[nodiscard]] bool done() const { return true; }
+};
+
+std::vector<std::int64_t> decode(std::span<const std::byte> payload) {
+  std::vector<std::int64_t> ids;
+  FrameReader reader(payload);
+  for (std::int64_t i = 0; i < reader.records(); ++i) {
+    ids.push_back(reader.read_id());
+  }
+  assert(reader.done());
+  return ids;
+}
+
+bool frame_ok(std::span<const std::byte> payload) {
+  return FrameReader(payload).valid();
+}

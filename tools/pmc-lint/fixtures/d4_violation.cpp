@@ -1,0 +1,21 @@
+// Fixture: D4 must fire — the decode loop drains records() but never checks
+// done(), so a frame with trailing garbage would pass silently.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+struct FrameReader {
+  explicit FrameReader(std::span<const std::byte>) {}
+  [[nodiscard]] std::int64_t records() const { return 0; }
+  [[nodiscard]] std::int64_t read_id() { return 0; }
+  [[nodiscard]] bool done() const { return true; }
+};
+
+std::vector<std::int64_t> decode(std::span<const std::byte> payload) {
+  std::vector<std::int64_t> ids;
+  FrameReader reader(payload);
+  for (std::int64_t i = 0; i < reader.records(); ++i) {
+    ids.push_back(reader.read_id());
+  }
+  return ids;
+}

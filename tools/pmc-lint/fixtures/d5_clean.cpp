@@ -1,0 +1,25 @@
+// Fixture: D5 must stay silent — an integer fold is order-independent, and
+// the floating-point fold goes over a sorted snapshot.
+#include <cstdint>
+#include <unordered_map>
+
+#include "support/sorted.hpp"
+
+std::int64_t total_count(
+    const std::unordered_map<std::int64_t, std::int64_t>& counts) {
+  std::int64_t total = 0;
+  for (const auto& [vertex, n] : counts) {
+    total += n;
+  }
+  return total;
+}
+
+double total_weight(const std::unordered_map<std::int64_t, double>& weights) {
+  // Distinct name from the integer fold above: the analyzer tracks declared
+  // float variables at file granularity, not per scope.
+  double weight_sum = 0.0;
+  for (const auto& [vertex, w] : pmc::sorted_items(weights)) {
+    weight_sum += w;
+  }
+  return weight_sum;
+}

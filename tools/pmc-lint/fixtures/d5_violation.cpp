@@ -1,0 +1,13 @@
+// Fixture: D5 must fire — a floating-point sum folded in unordered-map hash
+// order; FP addition is order-sensitive, so the result depends on the
+// bucket layout.
+#include <cstdint>
+#include <unordered_map>
+
+double total_weight(const std::unordered_map<std::int64_t, double>& weights) {
+  double total = 0.0;
+  for (const auto& [vertex, w] : weights) {
+    total += w;
+  }
+  return total;
+}

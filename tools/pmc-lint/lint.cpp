@@ -1,0 +1,623 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pmc_lint {
+namespace {
+
+// ---- source view ----------------------------------------------------------
+
+/// One suppression comment: which rules it allows and the justification.
+struct Allow {
+  std::set<std::string> rules;
+  std::string justification;
+};
+
+/// The comment/string-stripped view of a translation unit plus the
+/// suppression comments found while stripping.
+struct SourceView {
+  std::string code;  ///< Same length/lines as the input; literals blanked.
+  /// Suppressions keyed by the line their comment starts on (1-based).
+  std::unordered_map<int, Allow> allows;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parses "pmc-lint: allow(D1,D2): reason" out of one comment's text.
+void parse_allow(const std::string& comment, int line, SourceView& view) {
+  const std::size_t tag = comment.find("pmc-lint:");
+  if (tag == std::string::npos) return;
+  std::size_t p = comment.find("allow(", tag);
+  if (p == std::string::npos) return;
+  p += 6;
+  const std::size_t close = comment.find(')', p);
+  if (close == std::string::npos) return;
+  Allow allow;
+  std::stringstream rules(comment.substr(p, close - p));
+  std::string rule;
+  while (std::getline(rules, rule, ',')) {
+    rule = trim(rule);
+    if (!rule.empty()) allow.rules.insert(rule);
+  }
+  std::string rest = trim(comment.substr(close + 1));
+  if (!rest.empty() && rest.front() == ':') rest = trim(rest.substr(1));
+  allow.justification = rest;
+  if (!allow.rules.empty()) view.allows[line] = allow;
+}
+
+/// Blanks comments and string/char literals (preserving newlines so line
+/// numbers survive) and records pmc-lint allow() comments.
+SourceView strip(const std::string& text) {
+  SourceView view;
+  view.code.reserve(text.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  int line = 1;
+  int comment_line = 1;
+  std::string comment;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line = line;
+          comment.clear();
+          view.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_line = line;
+          comment.clear();
+          view.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          view.code += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          view.code += ' ';
+        } else {
+          view.code += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          parse_allow(comment, comment_line, view);
+          state = State::kCode;
+          view.code += '\n';
+        } else {
+          comment += c;
+          view.code += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          parse_allow(comment, comment_line, view);
+          state = State::kCode;
+          view.code += "  ";
+          ++i;
+        } else {
+          comment += c;
+          view.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          view.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          view.code += ' ';
+        } else {
+          view.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          view.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          view.code += ' ';
+        } else {
+          view.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+    if (c == '\n') ++line;
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    parse_allow(comment, comment_line, view);
+  }
+  return view;
+}
+
+// ---- tokens ---------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> out;
+  int line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      out.push_back({code.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (ident_char(code[j]) || code[j] == '.' || code[j] == '\'')) {
+        ++j;
+      }
+      out.push_back({code.substr(i, j - i), line, false});
+      i = j;
+      continue;
+    }
+    // Multi-char operators the rules care about; everything else is emitted
+    // one char at a time (deliberately including > > so template-angle
+    // balancing never sees a fused >>).
+    const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+    if ((c == ':' && next == ':') || (c == '-' && next == '>') ||
+        (c == '+' && next == '=') || (c == '-' && next == '=') ||
+        (c == '*' && next == '=') || (c == '/' && next == '=')) {
+      out.push_back({std::string{c, next}, line, false});
+      i += 2;
+      continue;
+    }
+    out.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return out;
+}
+
+// ---- rule engine ----------------------------------------------------------
+
+class Analyzer {
+ public:
+  Analyzer(std::string path, const SourceView& view, const RuleScope& scope)
+      : path_(std::move(path)),
+        scope_(scope),
+        allows_(view.allows),
+        tokens_(tokenize(view.code)) {}
+
+  std::vector<Diagnostic> run() {
+    collect_declared_vars();
+    check_banned_calls();
+    check_range_loops();
+    check_decoder_scopes();
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    return diags_;
+  }
+
+ private:
+  const Token& tok(std::size_t i) const {
+    static const Token kEnd{"", 0, false};
+    return i < tokens_.size() ? tokens_[i] : kEnd;
+  }
+
+  void report(const std::string& rule, int line, std::string message) {
+    Diagnostic d;
+    d.rule = rule;
+    d.file = path_;
+    d.line = line;
+    d.message = std::move(message);
+    // A well-formed allow() on the diagnostic's line or the line above it
+    // suppresses — but only with a justification.
+    for (const int l : {line, line - 1}) {
+      const auto it = allows_.find(l);
+      if (it == allows_.end()) continue;
+      if (it->second.rules.count(rule) == 0) continue;
+      if (it->second.justification.empty()) {
+        d.message += " [allow() found but has no justification]";
+        continue;
+      }
+      d.suppressed = true;
+      d.justification = it->second.justification;
+      break;
+    }
+    diags_.push_back(std::move(d));
+  }
+
+  /// Balances template angle brackets starting at tokens_[i] == "<";
+  /// returns the index just past the matching ">".
+  std::size_t skip_angles(std::size_t i) {
+    int depth = 0;
+    while (i < tokens_.size()) {
+      const std::string& t = tokens_[i].text;
+      if (t == "<") ++depth;
+      if (t == ">" && --depth == 0) return i + 1;
+      // A template argument list never contains ; or { — bail on malformed
+      // input instead of eating the rest of the file.
+      if (t == ";" || t == "{") return i;
+      ++i;
+    }
+    return i;
+  }
+
+  /// Variable names declared with an unordered container type, and names
+  /// declared float/double (for the D5 accumulation check).
+  void collect_declared_vars() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (!t.is_ident) continue;
+      if (t.text == "unordered_map" || t.text == "unordered_set" ||
+          t.text == "unordered_multimap" || t.text == "unordered_multiset") {
+        std::size_t j = i + 1;
+        if (tok(j).text != "<") continue;  // e.g. #include <unordered_map>
+        j = skip_angles(j);
+        // Close any enclosing template (vector<unordered_set<T>> lost) and
+        // skip ref/pointer decorations before the declared name.
+        while (tok(j).text == ">" || tok(j).text == "&" ||
+               tok(j).text == "*" || tok(j).text == "const") {
+          ++j;
+        }
+        if (tok(j).is_ident) unordered_vars_.insert(tok(j).text);
+      } else if (t.text == "double" || t.text == "float") {
+        if (tok(i + 1).is_ident) float_vars_.insert(tok(i + 1).text);
+      }
+    }
+  }
+
+  /// D2 (hidden entropy) and D3 (raw serialization).
+  void check_banned_calls() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (!t.is_ident) continue;
+      const std::string& prev = i > 0 ? tokens_[i - 1].text : std::string();
+      const bool member = prev == "." || prev == "->";
+      // "chrono" counts as a std qualifier so std::chrono::system_clock is
+      // caught; foo::time() in some other namespace is not ours to police.
+      const bool qualified_non_std =
+          prev == "::" && i >= 2 && tokens_[i - 2].text != "std" &&
+          tokens_[i - 2].text != "chrono";
+      if (scope_.d2) {
+        if ((t.text == "rand" || t.text == "srand" || t.text == "time") &&
+            tok(i + 1).text == "(") {
+          // Skip member calls (engine.time()), non-std qualified names, and
+          // declarations (`double time() const` — preceded by a type name).
+          const bool declaration =
+              i > 0 && tokens_[i - 1].is_ident && !call_context_word(prev);
+          if (!member && !qualified_non_std && !declaration) {
+            report("D2", t.line,
+                   "call to '" + t.text +
+                       "' — hidden entropy; all randomness must flow "
+                       "through pmc::Rng (src/support/rng.hpp) and wall "
+                       "time through WallTimer");
+          }
+        } else if (t.text == "random_device" || t.text == "system_clock") {
+          if (!member && !qualified_non_std) {
+            report("D2", t.line,
+                   "use of 'std::" + t.text +
+                       "' — nondeterministic source; use pmc::Rng / "
+                       "WallTimer (steady_clock) instead");
+          }
+        }
+      }
+      if (scope_.d3) {
+        if (t.text == "memcpy" && tok(i + 1).text == "(" && !member &&
+            !qualified_non_std) {
+          report("D3", t.line,
+                 "raw memcpy — wire traffic must go through the "
+                 "serialize.hpp frame codec, not byte copies of structs");
+        } else if (t.text == "reinterpret_cast") {
+          report("D3", t.line,
+                 "reinterpret_cast — wire traffic must go through the "
+                 "serialize.hpp frame codec, not type punning");
+        }
+      }
+    }
+  }
+
+  /// Words that make a following identifier a call, not a declaration.
+  static bool call_context_word(const std::string& w) {
+    return w == "return" || w == "co_return" || w == "case" || w == "throw";
+  }
+
+  /// D1 (unordered range-iteration in message-producing code) and D5
+  /// (floating-point accumulation under an unordered iteration).
+  void check_range_loops() {
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (!(tokens_[i].is_ident && tokens_[i].text == "for")) continue;
+      if (tok(i + 1).text != "(") continue;
+      // Find the matching ')' and a top-level ':' (range-for separator; '::'
+      // is a single token, so a lone ':' is unambiguous).
+      std::size_t colon = 0, close = 0;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < tokens_.size(); ++j) {
+        const std::string& t = tokens_[j].text;
+        if (t == "(") ++depth;
+        if (t == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (t == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (close == 0 || colon == 0) continue;
+      bool unordered = false;
+      bool blessed = false;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (!tokens_[j].is_ident) continue;
+        // The sorted-snapshot helpers take the unordered container as an
+        // argument; iterating their result is the sanctioned pattern.
+        if (tokens_[j].text == "sorted_keys" ||
+            tokens_[j].text == "sorted_items") {
+          blessed = true;
+          break;
+        }
+        if (unordered_vars_.count(tokens_[j].text) != 0 ||
+            tokens_[j].text == "unordered_map" ||
+            tokens_[j].text == "unordered_set") {
+          unordered = true;
+        }
+      }
+      if (blessed || !unordered) continue;
+      if (scope_.d1) {
+        report("D1", tokens_[i].line,
+               "range-iteration over an unordered container in "
+               "message-producing code — hash order is not a protocol "
+               "order; snapshot with sorted_keys()/sorted_items() "
+               "(support/sorted.hpp)");
+      }
+      if (scope_.d5) check_float_accumulation(close);
+    }
+  }
+
+  /// Scans the loop body that starts after tokens_[close] == ")" for a
+  /// `x +=` / `x -=` on a float/double variable.
+  void check_float_accumulation(std::size_t close) {
+    std::size_t begin = close + 1;
+    std::size_t end;
+    if (tok(begin).text == "{") {
+      int depth = 0;
+      end = begin;
+      while (end < tokens_.size()) {
+        if (tokens_[end].text == "{") ++depth;
+        if (tokens_[end].text == "}" && --depth == 0) break;
+        ++end;
+      }
+    } else {  // single-statement body
+      end = begin;
+      while (end < tokens_.size() && tokens_[end].text != ";") ++end;
+    }
+    for (std::size_t j = begin; j < end; ++j) {
+      if ((tokens_[j].text == "+=" || tokens_[j].text == "-=") && j > 0 &&
+          tokens_[j - 1].is_ident &&
+          float_vars_.count(tokens_[j - 1].text) != 0) {
+        report("D5", tokens_[j].line,
+               "floating-point accumulation into '" + tokens_[j - 1].text +
+                   "' inside an unordered-container iteration — FP "
+                   "addition is order-sensitive; reduce over a sorted "
+                   "snapshot instead");
+      }
+    }
+  }
+
+  /// D4: every FrameReader/ByteReader that decodes records must check
+  /// done() before its scope ends.
+  void check_decoder_scopes() {
+    struct Decoder {
+      std::string var;
+      int decl_line = 0;
+      int depth = 0;
+      bool reads = false;
+      bool done_checked = false;
+    };
+    std::vector<Decoder> open;
+    int depth = 0;
+    auto close_deeper_than = [&](int d) {
+      for (auto it = open.begin(); it != open.end();) {
+        if (it->depth > d) {
+          if (it->reads && !it->done_checked) {
+            report("D4", it->decl_line,
+                   "decoder '" + it->var +
+                       "' reads records but never checks done() — trailing "
+                       "garbage would pass silently; end every decode loop "
+                       "with PMC_CHECK(reader.done(), ...)");
+          }
+          it = open.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.text == "{") ++depth;
+      if (t.text == "}") {
+        --depth;
+        close_deeper_than(depth);
+      }
+      if (!t.is_ident) continue;
+      if ((t.text == "FrameReader" || t.text == "ByteReader") &&
+          tok(i + 1).is_ident && tok(i + 2).text == "(") {
+        open.push_back({tok(i + 1).text, tok(i + 1).line, depth, false,
+                        false});
+        continue;
+      }
+      // reader.read_id() / reader.get<T>() / reader.done()
+      if ((tok(i + 1).text == "." || tok(i + 1).text == "->") &&
+          tok(i + 2).is_ident) {
+        for (auto it = open.rbegin(); it != open.rend(); ++it) {
+          if (it->var != t.text) continue;
+          const std::string& m = tok(i + 2).text;
+          if (m.rfind("read_", 0) == 0 || m == "get") it->reads = true;
+          if (m == "done") it->done_checked = true;
+          break;
+        }
+      }
+    }
+    close_deeper_than(-1);
+  }
+
+  std::string path_;
+  RuleScope scope_;
+  std::unordered_map<int, Allow> allows_;
+  std::vector<Token> tokens_;
+  std::unordered_set<std::string> unordered_vars_;
+  std::unordered_set<std::string> float_vars_;
+  std::vector<Diagnostic> diags_;
+};
+
+/// Repo-relative normalization: ".../repo/src/x.cpp" -> "src/x.cpp".
+std::string normalize(const std::string& path) {
+  std::string p = path;
+  const std::size_t src = p.rfind("/src/");
+  if (src != std::string::npos) {
+    p = p.substr(src + 1);
+  } else if (p.rfind("./", 0) == 0) {
+    p = p.substr(2);
+  }
+  return p;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+RuleScope scope_for_path(const std::string& path) {
+  const std::string p = normalize(path);
+  RuleScope scope;  // d4 defaults on everywhere
+  if (!starts_with(p, "src/")) return scope;
+  scope.d5 = true;
+  scope.d2 = !(starts_with(p, "src/support/rng.") ||
+               p == "src/support/timer.hpp");
+  scope.d3 = !starts_with(p, "src/runtime/serialize.");
+  scope.d1 = starts_with(p, "src/matching/") ||
+             starts_with(p, "src/coloring/") ||
+             starts_with(p, "src/runtime/");
+  return scope;
+}
+
+RuleScope all_rules() { return RuleScope{true, true, true, true, true}; }
+
+std::vector<Diagnostic> analyze_source(const std::string& path,
+                                       const std::string& contents,
+                                       const RuleScope& scope) {
+  const SourceView view = strip(contents);
+  return Analyzer(path, view, scope).run();
+}
+
+std::vector<Diagnostic> analyze_file(const std::string& path,
+                                     const RuleScope& scope) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw std::runtime_error("pmc-lint: cannot read " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return analyze_source(path, contents.str(), scope);
+}
+
+std::vector<Diagnostic> analyze_file(const std::string& path) {
+  return analyze_file(path, scope_for_path(path));
+}
+
+std::vector<std::string> compile_commands_files(const std::string& json_path) {
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("pmc-lint: cannot read " + json_path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::vector<std::string> files;
+  std::unordered_set<std::string> seen;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    std::size_t q = text.find('"', text.find(':', pos));
+    if (q == std::string::npos) break;
+    std::string value;
+    for (++q; q < text.size() && text[q] != '"'; ++q) {
+      if (text[q] == '\\' && q + 1 < text.size()) ++q;
+      value += text[q];
+    }
+    if (seen.insert(value).second) files.push_back(value);
+  }
+  return files;
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_json(const std::vector<Diagnostic>& diags,
+                    std::size_t files_scanned) {
+  std::size_t suppressed = 0;
+  for (const auto& d : diags) suppressed += d.suppressed ? 1 : 0;
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"pmc-lint\",\n  \"version\": 1,\n"
+     << "  \"files_scanned\": " << files_scanned << ",\n"
+     << "  \"total\": " << diags.size() << ",\n"
+     << "  \"suppressed\": " << suppressed << ",\n"
+     << "  \"unsuppressed\": " << diags.size() - suppressed << ",\n"
+     << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << json_escape(d.rule)
+       << "\", \"file\": \"" << json_escape(d.file)
+       << "\", \"line\": " << d.line << ", \"suppressed\": "
+       << (d.suppressed ? "true" : "false") << ", \"justification\": \""
+       << json_escape(d.justification) << "\", \"message\": \""
+       << json_escape(d.message) << "\"}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace pmc_lint

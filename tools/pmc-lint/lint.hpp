@@ -1,0 +1,89 @@
+// pmc-lint — the project's determinism & protocol static-analysis pass.
+//
+// A token/AST-lite scanner over the C++ sources that enforces invariants the
+// runtime's reproducibility guarantees rest on (DESIGN.md §7). It is not a
+// compiler: rules are implemented over a comment/string-stripped token view
+// of each translation unit, tuned to this codebase's idiom, and every
+// diagnostic can be suppressed in place with a justification:
+//
+//     // pmc-lint: allow(D1): order-independent integer sum, no sends
+//
+// on the diagnostic's line or the line directly above it. A suppression
+// without a justification text does not count.
+//
+// Rules (scopes are path predicates relative to the repo root):
+//
+//   D1  no unordered_map/unordered_set range-iteration in message-producing
+//       code (src/matching, src/coloring, src/runtime) — hash-order
+//       traversals would tie send sequences to the standard library's
+//       bucket layout. Use the sorted-snapshot helpers (support/sorted.hpp).
+//   D2  no hidden entropy: rand, srand, std::random_device, time(),
+//       std::chrono::system_clock anywhere outside src/support/rng.* and
+//       src/support/timer.hpp. All randomness flows through pmc::Rng; all
+//       wall time through WallTimer.
+//   D3  no raw memcpy / reinterpret_cast serialization outside
+//       src/runtime/serialize.* — wire traffic goes through the versioned,
+//       checksummed frame codec.
+//   D4  every FrameReader/ByteReader decode loop must end with a done()
+//       check, so trailing garbage is rejected instead of silently ignored.
+//   D5  no float/double accumulation inside an unordered-container
+//       range-iteration anywhere in src/ — FP addition is order-sensitive,
+//       so a hash-order reduction is silently nondeterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pmc_lint {
+
+/// One finding. `suppressed` is true when a well-formed allow() comment with
+/// a justification covers the line.
+struct Diagnostic {
+  std::string rule;     ///< "D1".."D5".
+  std::string file;     ///< Path as given to analyze_file.
+  int line = 0;         ///< 1-based.
+  std::string message;  ///< Human-readable explanation.
+  bool suppressed = false;
+  std::string justification;  ///< allow() comment text when suppressed.
+};
+
+/// Which rule families apply to a file, derived from its path.
+struct RuleScope {
+  bool d1 = false;  ///< Message-producing code (matching/coloring/runtime).
+  bool d2 = false;  ///< Everything except the entropy allowlist.
+  bool d3 = false;  ///< Everything except serialize.*.
+  bool d4 = true;   ///< Decoder hygiene applies everywhere.
+  bool d5 = false;  ///< All of src/.
+};
+
+/// Scope for a path as the CI lint run uses it: `path` is normalized to the
+/// repo-relative form before the src/-based predicates are applied.
+[[nodiscard]] RuleScope scope_for_path(const std::string& path);
+
+/// Scope with every rule enabled — what the fixture tests use, so each rule
+/// can be exercised regardless of where the fixture file lives.
+[[nodiscard]] RuleScope all_rules();
+
+/// Runs every in-scope rule over one file's contents. `path` is used for
+/// diagnostics only; scoping is the caller's job (scope_for_path).
+[[nodiscard]] std::vector<Diagnostic> analyze_source(
+    const std::string& path, const std::string& contents,
+    const RuleScope& scope);
+
+/// analyze_source over the file at `path` (throws std::runtime_error when
+/// unreadable), scoped by scope_for_path unless `scope` is provided.
+[[nodiscard]] std::vector<Diagnostic> analyze_file(const std::string& path);
+[[nodiscard]] std::vector<Diagnostic> analyze_file(const std::string& path,
+                                                   const RuleScope& scope);
+
+/// Extracts the "file" entries of a compile_commands.json, deduplicated, in
+/// first-appearance order. Tolerant of formatting; throws on unreadable
+/// input.
+[[nodiscard]] std::vector<std::string> compile_commands_files(
+    const std::string& json_path);
+
+/// Serializes a run's findings as the machine-readable JSON report.
+[[nodiscard]] std::string to_json(const std::vector<Diagnostic>& diags,
+                                  std::size_t files_scanned);
+
+}  // namespace pmc_lint

@@ -1,0 +1,137 @@
+// pmc-lint CLI.
+//
+//   pmc-lint --compile-commands=build/compile_commands.json [--json=PATH]
+//   pmc-lint [--all-rules] file.cpp [file2.cpp ...]
+//
+// With --compile-commands the tool lints every src/ translation unit the
+// build knows about, plus the headers under src/ (headers never appear in
+// compile_commands but hold template code — Bundler::flush lived in one).
+// Explicit file arguments are linted as given; --all-rules overrides the
+// path-based scoping (the fixture suite's mode).
+//
+// Exit status: 0 = clean (suppressed findings are fine), 1 = at least one
+// unsuppressed diagnostic, 2 = usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: pmc-lint [--compile-commands=PATH] [--root=DIR] "
+               "[--json[=PATH]] [--all-rules] [files...]\n";
+  return 2;
+}
+
+/// Headers under root/src — compile_commands only lists .cpp files, but the
+/// determinism rules bind to header code too.
+std::vector<std::string> src_headers(const std::string& root) {
+  std::vector<std::string> out;
+  const std::filesystem::path src = std::filesystem::path(root) / "src";
+  if (!std::filesystem::is_directory(src)) return out;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".hpp") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compile_commands;
+  std::string root = ".";
+  std::string json_path;
+  bool json = false;
+  bool all_rules = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--compile-commands=", 0) == 0) {
+      compile_commands = arg.substr(19);
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else if (arg == "--all-rules") {
+      all_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pmc-lint: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (compile_commands.empty() && files.empty()) return usage();
+
+  try {
+    if (!compile_commands.empty()) {
+      for (const std::string& f :
+           pmc_lint::compile_commands_files(compile_commands)) {
+        // The build also compiles tests/bench/examples and third-party
+        // fixtures; the determinism contract binds to the library tree.
+        if (f.find("/src/") != std::string::npos ||
+            f.rfind("src/", 0) == 0) {
+          files.push_back(f);
+        }
+      }
+      for (std::string& h : src_headers(root)) {
+        files.push_back(std::move(h));
+      }
+    }
+
+    std::vector<pmc_lint::Diagnostic> diags;
+    for (const std::string& f : files) {
+      const auto scope =
+          all_rules ? pmc_lint::all_rules() : pmc_lint::scope_for_path(f);
+      auto d = pmc_lint::analyze_file(f, scope);
+      diags.insert(diags.end(), d.begin(), d.end());
+    }
+
+    std::size_t unsuppressed = 0;
+    for (const auto& d : diags) {
+      if (d.suppressed) continue;
+      ++unsuppressed;
+      std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+                << d.message << "\n";
+    }
+    std::size_t suppressed = diags.size() - unsuppressed;
+
+    if (json) {
+      const std::string report = pmc_lint::to_json(diags, files.size());
+      if (json_path.empty()) {
+        std::cout << report;
+      } else {
+        std::ofstream out(json_path, std::ios::binary);
+        if (!out.good()) {
+          std::cerr << "pmc-lint: cannot write " << json_path << "\n";
+          return 2;
+        }
+        out << report;
+      }
+    }
+
+    std::cout << "pmc-lint: " << files.size() << " files, "
+              << unsuppressed << " unsuppressed, " << suppressed
+              << " suppressed diagnostic(s)\n";
+    return unsuppressed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
