@@ -52,6 +52,8 @@ int run(int argc, const char** argv) {
   opts.add("reps", "3", "repetitions per point (min wall time is reported)");
   opts.add("csv", "", "optional CSV output path");
   opts.add("json", "BENCH_threads.json", "summary JSON path (empty = none)");
+  opts.add("async-json", "BENCH_threads_async.json",
+           "async (event-engine) sweep JSON path (empty = none)");
   (void)opts.parse(argc, argv);
   const auto side = static_cast<VertexId>(opts.get_int("grid"));
   const auto ranks = static_cast<Rank>(opts.get_int("ranks"));
@@ -91,13 +93,10 @@ int run(int argc, const char** argv) {
     std::string name;
     std::function<RunResult(int)> run;  // threads -> result
   };
-  const std::vector<Workload> workloads = {
-      {"matching",
-       [&](int threads) {
-         DistMatchingOptions o;
-         o.exec.threads = threads;
-         return match_distributed(dist, o).run;
-       }},
+  // The BSP engines defer whole rank phases; the async (event-engine)
+  // workloads exercise windowed event dispatch, including the reliable
+  // transport's retry timers in the fault variant.
+  const std::vector<Workload> sync_workloads = {
       {"coloring-sync",
        [&](int threads) {
          auto o = DistColoringOptions::improved();
@@ -113,52 +112,90 @@ int run(int argc, const char** argv) {
          return color_distance2_distributed_native(g, p, o).run;
        }},
   };
+  const std::vector<Workload> async_workloads = {
+      {"matching-async",
+       [&](int threads) {
+         DistMatchingOptions o;
+         o.exec.threads = threads;
+         return match_distributed(dist, o).run;
+       }},
+      {"matching-async-eager",
+       [&](int threads) {
+         DistMatchingOptions o;
+         o.bundled = false;
+         o.exec.threads = threads;
+         return match_distributed(dist, o).run;
+       }},
+      {"matching-async-faults",
+       [&](int threads) {
+         DistMatchingOptions o;
+         o.faults.drop_rate = 0.05;
+         o.faults.duplicate_rate = 0.02;
+         o.faults.seed = 14;
+         o.jitter_seconds = 2e-6;
+         o.jitter_seed = 7;
+         o.exec.threads = threads;
+         return match_distributed(dist, o).run;
+       }},
+  };
 
-  std::ostringstream json_rows;
-  bool first_row = true;
-  for (const auto& w : workloads) {
-    Sample base;
-    for (const int threads : thread_list) {
-      const Sample s =
-          measure(reps, [&] { return w.run(threads); });
-      if (threads == 1) {
-        base = s;
-      } else {
-        // Exact comparison on purpose: any drift means the deferred-lane
-        // merge diverged from sequential execution.
-        PMC_CHECK(s.sim_seconds == base.sim_seconds,
-                  w.name << ": modelled time moved at threads=" << threads);
-        PMC_CHECK(s.messages == base.messages,
-                  w.name << ": message count moved at threads=" << threads);
+  const auto sweep = [&](const std::vector<Workload>& workloads,
+                         std::ostringstream& json_rows) {
+    bool first_row = true;
+    for (const auto& w : workloads) {
+      Sample base;
+      for (const int threads : thread_list) {
+        const Sample s = measure(reps, [&] { return w.run(threads); });
+        if (threads == 1) {
+          base = s;
+        } else {
+          // Exact comparison on purpose: any drift means the deferred-lane
+          // merge (or windowed event dispatch) diverged from sequential
+          // execution.
+          PMC_CHECK(s.sim_seconds == base.sim_seconds,
+                    w.name << ": modelled time moved at threads=" << threads);
+          PMC_CHECK(s.messages == base.messages,
+                    w.name << ": message count moved at threads=" << threads);
+        }
+        const double speedup = base.wall_seconds / s.wall_seconds;
+        table.add_row({w.name, cell_count(threads), cell_sci(s.sim_seconds),
+                       cell_sci(s.wall_seconds), cell(speedup, 2) + "x"});
+        csv.row({w.name, std::to_string(threads),
+                 std::to_string(s.sim_seconds),
+                 std::to_string(s.wall_seconds), std::to_string(speedup),
+                 std::to_string(s.messages)});
+        json_rows << (first_row ? "" : ",") << "\n    {\"workload\": \""
+                  << w.name << "\", \"threads\": " << threads
+                  << ", \"sim_seconds\": " << s.sim_seconds
+                  << ", \"wall_seconds\": " << s.wall_seconds
+                  << ", \"speedup\": " << speedup << "}";
+        first_row = false;
       }
-      const double speedup = base.wall_seconds / s.wall_seconds;
-      table.add_row({w.name, cell_count(threads), cell_sci(s.sim_seconds),
-                     cell_sci(s.wall_seconds), cell(speedup, 2) + "x"});
-      csv.row({w.name, std::to_string(threads),
-               std::to_string(s.sim_seconds),
-               std::to_string(s.wall_seconds), std::to_string(speedup),
-               std::to_string(s.messages)});
-      json_rows << (first_row ? "" : ",") << "\n    {\"workload\": \""
-                << w.name << "\", \"threads\": " << threads
-                << ", \"sim_seconds\": " << s.sim_seconds
-                << ", \"wall_seconds\": " << s.wall_seconds
-                << ", \"speedup\": " << speedup << "}";
-      first_row = false;
     }
-  }
+  };
+
+  std::ostringstream sync_rows;
+  std::ostringstream async_rows;
+  sweep(sync_workloads, sync_rows);
+  sweep(async_workloads, async_rows);
   table.print(std::cout);
 
   const unsigned hw = std::thread::hardware_concurrency();
-  if (const std::string json_path = opts.get("json"); !json_path.empty()) {
+  const auto write_json = [&](const std::string& json_path,
+                              const char* bench_name,
+                              const std::ostringstream& rows) {
+    if (json_path.empty()) return;
     std::ofstream out(json_path);
     PMC_REQUIRE(out.good(), "cannot open " << json_path);
-    out << "{\n  \"bench\": \"ablation_threads\",\n  \"grid\": " << side
-        << ",\n  \"ranks\": " << ranks
+    out << "{\n  \"bench\": \"" << bench_name
+        << "\",\n  \"grid\": " << side << ",\n  \"ranks\": " << ranks
         << ",\n  \"reps\": " << reps
         << ",\n  \"hardware_concurrency\": " << hw
-        << ",\n  \"rows\": [" << json_rows.str() << "\n  ]\n}\n";
+        << ",\n  \"rows\": [" << rows.str() << "\n  ]\n}\n";
     std::cout << "summary written to " << json_path << '\n';
-  }
+  };
+  write_json(opts.get("json"), "ablation_threads", sync_rows);
+  write_json(opts.get("async-json"), "ablation_threads_async", async_rows);
   std::cout << "(host advertises " << hw
             << " hardware thread(s); wall-clock speedup is bounded by real "
                "cores, the sim column by design must not move)\n";

@@ -27,13 +27,16 @@ tier1() {
   # The codec ablation self-checks: identical results under both codecs,
   # compact payload <= fixed payload per row, and >= 30% total reduction.
   ./build/bench/bench_ablation_codec --json=build/BENCH_codec.json
+  # Committed BENCH_*.json baselines must stay well-formed and keep each
+  # workload's modelled time bit-identical across the thread sweep.
+  ./tools/check_bench_artifacts.sh
 }
 
 lint() {
   echo "==== lint: pmc-lint determinism rules + clang-tidy ===="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DPMC_HARDENED_WERROR=ON
   cmake --build build -j "$JOBS" --target pmc-lint
-  # pmc-lint exits nonzero on any unsuppressed D1-D5 diagnostic; the JSON
+  # pmc-lint exits nonzero on any unsuppressed D1-D6 diagnostic; the JSON
   # report lands next to the other CI artifacts.
   ./build/tools/pmc-lint/pmc-lint \
     --compile-commands=build/compile_commands.json --root=. \

@@ -61,10 +61,11 @@ struct DistMatchingOptions {
   FaultConfig faults;
   /// Instrumentation options (optional JSONL trace sink).
   TraceConfig trace;
-  /// Execution backend: exec.threads > 1 runs the event engine's
-  /// parallel-safe fan-outs (rank start, idle kicks) on a thread pool,
-  /// bit-identically to sequential execution. Event dispatch itself is
-  /// inherently serial (a global time-ordered queue) and stays sequential.
+  /// Execution backend: exec.threads > 1 runs the event engine's windowed
+  /// dispatch — each virtual-time window of the queue is sharded by rank
+  /// across a thread pool and merged in (time, seq) order — plus the
+  /// start/idle fan-outs, bit-identically to sequential execution
+  /// (DESIGN.md §5c).
   ExecConfig exec;
 };
 

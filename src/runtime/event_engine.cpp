@@ -1,5 +1,6 @@
 #include "runtime/event_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -18,16 +19,11 @@ constexpr std::size_t kAckPayloadBytes = 12;
 
 }  // namespace
 
-EventContext::EventContext(EventEngine& engine, Rank rank, bool deferred)
-    : engine_(&engine), rank_(rank), deferred_(deferred) {
-  if (deferred_) lane_ = engine.fabric_.make_lane(rank);
-}
-
 Rank EventContext::num_ranks() const noexcept { return engine_->num_ranks(); }
 
 void EventContext::charge(double work_units) noexcept {
-  if (deferred_) {
-    lane_.charge(work_units);
+  if (deferred()) {
+    lane_->charge(work_units);
   } else {
     engine_->fabric_.charge(rank_, work_units);
   }
@@ -35,31 +31,31 @@ void EventContext::charge(double work_units) noexcept {
 
 void EventContext::send(Rank dst, std::vector<std::byte> payload,
                         std::int64_t records) {
-  if (!deferred_) {
+  if (!deferred()) {
     engine_->enqueue(rank_, dst, std::move(payload), records);
     return;
   }
   // With the reliable transport, a one-attempt budget makes the very first
   // transmit the (fault-exempt) reliable tail; the lane must skip the stall
-  // wait exactly as post_send() would for an exempt send.
+  // wait exactly as the live begin_send() would for an exempt send.
   const FaultConfig& F = engine_->fabric_.config().fault;
   const bool exempt_first =
       engine_->transport_ && F.max_attempts == 1 && F.reliable_tail;
   DeferredOp op;
   op.kind = DeferredOp::Kind::kSend;
-  op.dst = dst;
+  op.peer = dst;
   op.payload = std::move(payload);
   op.records = records;
-  op.send_time = lane_.begin_send(exempt_first);
+  op.send_time = lane_->begin_send(exempt_first);
   ops_.push_back(std::move(op));
 }
 
 double EventContext::now() const noexcept {
-  return deferred_ ? lane_.now() : engine_->fabric_.now(rank_);
+  return deferred() ? lane_->now() : engine_->fabric_.now(rank_);
 }
 
 void EventContext::set_round(int round) {
-  if (deferred_) {
+  if (deferred()) {
     DeferredOp op;
     op.kind = DeferredOp::Kind::kRound;
     op.round = round;
@@ -70,10 +66,69 @@ void EventContext::set_round(int round) {
 }
 
 void EventContext::set_phase(WorkPhase phase) noexcept {
-  if (deferred_) {
-    lane_.set_phase(phase);
+  if (deferred()) {
+    lane_->set_phase(phase);
   } else {
     engine_->fabric_.set_phase(rank_, phase);
+  }
+}
+
+void EventContext::advance_to(double t) {
+  if (deferred()) {
+    lane_->advance_to(t);
+  } else {
+    engine_->fabric_.advance_to(rank_, t);
+  }
+}
+
+double EventContext::begin_send(bool fault_exempt) {
+  return deferred() ? lane_->begin_send(fault_exempt)
+                    : engine_->fabric_.begin_send(rank_, fault_exempt);
+}
+
+void EventContext::note_backoff(double seconds) {
+  if (deferred()) {
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::kNoteBackoff;
+    op.seconds = seconds;
+    ops_.push_back(std::move(op));
+  } else {
+    engine_->fabric_.note_backoff(rank_, seconds);
+  }
+}
+
+void EventContext::note_retry(Rank peer, int attempt) {
+  if (deferred()) {
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::kNoteRetry;
+    op.peer = peer;
+    op.attempt = attempt;
+    op.note_time = lane_->now();
+    ops_.push_back(std::move(op));
+  } else {
+    engine_->fabric_.note_retry(rank_, peer, attempt);
+  }
+}
+
+void EventContext::note_dup_suppressed() {
+  if (deferred()) {
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::kNoteDupSuppressed;
+    op.note_time = lane_->now();
+    ops_.push_back(std::move(op));
+  } else {
+    engine_->fabric_.note_dup_suppressed(rank_);
+  }
+}
+
+void EventContext::note_corruption_detected() {
+  if (deferred()) {
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::kNoteCorruptDetected;
+    op.note_time = lane_->now();
+    ops_.push_back(std::move(op));
+  } else {
+    engine_->fabric_.note_corruption_detected(rank_);
   }
 }
 
@@ -81,7 +136,26 @@ EventEngine::EventEngine(MachineModel model, FabricConfig config,
                          ExecConfig exec)
     : fabric_(std::move(model), std::move(config)),
       backend_(exec),
-      transport_(fabric_.config().fault.enabled()) {}
+      transport_(fabric_.config().fault.enabled()) {
+  if (backend_.mode() == ExecMode::kThreads) {
+    // Minimum spacing between an event and any event its dispatch can
+    // generate: every send pays the software overhead, then either the wire
+    // latency (data/ack arrival) or a full retransmission timeout (retry
+    // timer). Half of that bound is the window span — the margin keeps
+    // floating-point associativity drift (computing horizon as W + span vs
+    // a generated time as ((t + o) + alpha)) from ever pulling a generated
+    // event inside its own window. A degenerate (all-zero) cost model has
+    // no spacing; windowing stays off and dispatch falls back to the
+    // sequential path.
+    const MachineModel& m = fabric_.model();
+    double lookahead = m.latency;
+    if (transport_) {
+      lookahead = std::min(lookahead, fabric_.config().fault.rto_seconds);
+    }
+    lookahead += m.send_overhead;
+    if (lookahead > 0.0) window_seconds_ = 0.5 * lookahead;
+  }
+}
 
 EventEngine::EventEngine(MachineModel model, double jitter_seconds,
                          std::uint64_t jitter_seed, TraceConfig trace)
@@ -93,6 +167,7 @@ Rank EventEngine::add_process(std::unique_ptr<Process> process) {
   PMC_REQUIRE(process != nullptr, "null process");
   PMC_REQUIRE(!ran_, "cannot add processes after run()");
   processes_.push_back(std::move(process));
+  transport_state_.emplace_back();
   return fabric_.add_rank();
 }
 
@@ -105,7 +180,9 @@ void EventEngine::push_event(Event ev) {
 void EventEngine::enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
                           std::int64_t records) {
   if (!transport_) {
-    const auto receipt = fabric_.post_send(src, dst, payload.size(), records);
+    const double send_time = fabric_.begin_send(src);
+    const auto receipt =
+        fabric_.post_send_at(src, dst, payload.size(), records, send_time);
     Event ev;
     ev.time = receipt.arrival;
     ev.src = src;
@@ -114,12 +191,23 @@ void EventEngine::enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
     push_event(std::move(ev));
     return;
   }
-  const std::uint64_t channel = channel_key(src, dst);
-  const std::uint64_t tseq = next_tseq_[channel]++;
-  Pending& entry = unacked_[channel][tseq];
+  auto& sender = transport_state_[static_cast<std::size_t>(src)];
+  const std::uint64_t tseq = sender.next_tseq[dst]++;
+  Pending& entry = sender.unacked[dst][tseq];
   entry.payload = std::move(payload);
   entry.records = records;
-  transmit(src, dst, tseq);
+  entry.attempt = 1;
+  const FaultConfig& F = fabric_.config().fault;
+  const bool final_attempt = entry.attempt >= F.max_attempts;
+  const bool exempt = final_attempt && F.reliable_tail;
+  const double send_time = fabric_.begin_send(src, exempt);
+  transmit_priced(src, dst, tseq, entry.payload, entry.records, entry.attempt,
+                  send_time);
+  // Exempt tail: delivery is guaranteed, drop the retransmission state (a
+  // late ack for an earlier try is ignored harmlessly). Without the tail a
+  // delivered final try just stops retrying; the entry stays until its ack
+  // arrives, or inertly forever if that ack is lost.
+  if (exempt) sender.unacked[dst].erase(tseq);
 }
 
 void EventEngine::enqueue_at(Rank src, Rank dst,
@@ -136,37 +224,35 @@ void EventEngine::enqueue_at(Rank src, Rank dst,
     push_event(std::move(ev));
     return;
   }
-  const std::uint64_t channel = channel_key(src, dst);
-  const std::uint64_t tseq = next_tseq_[channel]++;
-  Pending& entry = unacked_[channel][tseq];
+  auto& sender = transport_state_[static_cast<std::size_t>(src)];
+  const std::uint64_t tseq = sender.next_tseq[dst]++;
+  Pending& entry = sender.unacked[dst][tseq];
   entry.payload = std::move(payload);
   entry.records = records;
-  transmit(src, dst, tseq, send_time);
+  entry.attempt = 1;
+  const FaultConfig& F = fabric_.config().fault;
+  const bool exempt = entry.attempt >= F.max_attempts && F.reliable_tail;
+  transmit_priced(src, dst, tseq, entry.payload, entry.records, entry.attempt,
+                  send_time);
+  if (exempt) sender.unacked[dst].erase(tseq);
 }
 
-void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq,
-                           double deferred_send_time) {
+void EventEngine::transmit_priced(Rank src, Rank dst, std::uint64_t tseq,
+                                  const std::vector<std::byte>& payload,
+                                  std::int64_t records, int attempt,
+                                  double send_time) {
   const FaultConfig& F = fabric_.config().fault;
-  const std::uint64_t channel = channel_key(src, dst);
-  Pending& entry = unacked_[channel][tseq];
-  entry.attempt += 1;
-  const bool final_attempt = entry.attempt >= F.max_attempts;
+  const bool final_attempt = attempt >= F.max_attempts;
   const bool exempt = final_attempt && F.reliable_tail;
-  const bool deferred = deferred_send_time >= 0.0;
   const auto receipt =
-      deferred
-          ? fabric_.post_send_at(src, dst,
-                                 entry.payload.size() + kTransportHeaderBytes,
-                                 entry.records, deferred_send_time, exempt)
-          : fabric_.post_send(src, dst,
-                              entry.payload.size() + kTransportHeaderBytes,
-                              entry.records, exempt);
+      fabric_.post_send_at(src, dst, payload.size() + kTransportHeaderBytes,
+                           records, send_time, exempt);
   if (receipt.dropped) {
     if (final_attempt) {
       // reliable_tail is off and the last try was lost: no further recovery
       // is possible, fail loudly rather than hang or silently diverge.
       PMC_FAIL("retry budget exhausted: rank " << src << " -> rank " << dst
-               << " tseq " << tseq << " lost after " << entry.attempt
+               << " tseq " << tseq << " lost after " << attempt
                << " attempts");
     }
   } else {
@@ -175,14 +261,14 @@ void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq,
       // reliable tail (an exempt send is never corrupted) the message is as
       // lost as a drop — same loud failure.
       PMC_FAIL("retry budget exhausted: rank " << src << " -> rank " << dst
-               << " tseq " << tseq << " garbled after " << entry.attempt
+               << " tseq " << tseq << " garbled after " << attempt
                << " attempts");
     }
     Event ev;
     ev.time = receipt.arrival;
     ev.src = src;
     ev.dst = dst;
-    ev.payload = entry.payload;  // keep the original for retransmission
+    ev.payload = payload;  // keep the original for retransmission
     ev.tseq = tseq;
     ev.corrupted = receipt.corrupted;
     // Physically garble the delivered copy (never the retransmission
@@ -196,26 +282,19 @@ void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq,
       dup.time = receipt.duplicate_arrival;
       dup.src = src;
       dup.dst = dst;
-      dup.payload = entry.payload;
+      dup.payload = payload;
       dup.tseq = tseq;
       push_event(std::move(dup));
     }
   }
-  if (final_attempt) {
-    // Exempt tail: delivery is guaranteed, drop the retransmission state
-    // (a late ack for an earlier try is ignored harmlessly). Without the
-    // tail a delivered final try just stops retrying; the entry stays until
-    // its ack arrives, or inertly forever if that ack is lost.
-    if (exempt) unacked_[channel].erase(tseq);
-  } else {
+  if (!final_attempt) {
     Event timer;
     timer.kind = EventKind::kTimer;
-    // Sequentially the clock sits at the send time here; a deferred replay
-    // must use the recorded send time (the live clock has already absorbed
-    // the whole lane) to arm the timer identically.
-    const double base = deferred ? deferred_send_time : fabric_.now(src);
+    // The clock sits at the send time when the timer is armed (a deferred
+    // replay uses the recorded lane send time for the same reason: the live
+    // clock has already absorbed the whole lane).
     timer.time =
-        base + F.rto_seconds * std::pow(F.rto_backoff, entry.attempt - 1);
+        send_time + F.rto_seconds * std::pow(F.rto_backoff, attempt - 1);
     timer.src = dst;  // peer the pending message targets
     timer.dst = src;  // rank whose timer fires
     timer.tseq = tseq;
@@ -223,10 +302,12 @@ void EventEngine::transmit(Rank src, Rank dst, std::uint64_t tseq,
   }
 }
 
-void EventEngine::send_ack(Rank from, Rank to, std::uint64_t tseq) {
+void EventEngine::replay_ack(Rank from, Rank to, std::uint64_t tseq,
+                             double send_time) {
   // Acks ride the same lossy fabric (a lost ack is what makes duplicate
   // suppression necessary) but are never themselves retried.
-  const auto receipt = fabric_.post_send(from, to, kAckPayloadBytes, 0);
+  const auto receipt =
+      fabric_.post_send_at(from, to, kAckPayloadBytes, 0, send_time);
   if (receipt.dropped) return;
   Event ev;
   ev.kind = EventKind::kAck;
@@ -246,68 +327,221 @@ void EventEngine::send_ack(Rank from, Rank to, std::uint64_t tseq) {
   }
 }
 
-void EventEngine::dispatch(Event ev) {
+void EventEngine::dispatch(const Event& ev, EventContext& ctx) {
   switch (ev.kind) {
     case EventKind::kData: {
-      fabric_.advance_to(ev.dst, ev.time);
+      ctx.advance_to(ev.time);
       if (ev.corrupted) {
         // Honest detection: the delivered bytes themselves must fail frame
         // validation (empty payloads have nothing to flip and are rejected
         // outright). No ack — the sender's retry timer recovers.
         PMC_CHECK(ev.payload.empty() || !FrameReader(ev.payload).valid(),
                   "garbled frame passed checksum validation");
-        fabric_.note_corruption_detected(ev.dst);
+        ctx.note_corruption_detected();
         return;
       }
       if (transport_) {
-        const std::uint64_t channel = channel_key(ev.src, ev.dst);
-        const bool fresh = delivered_[channel].insert(ev.tseq).second;
+        auto& receiver = transport_state_[static_cast<std::size_t>(ev.dst)];
+        const bool fresh = receiver.delivered[ev.src].insert(ev.tseq).second;
         // Always (re-)ack: the sender may be retrying because an earlier
         // ack was lost.
-        send_ack(ev.dst, ev.src, ev.tseq);
+        const double ack_time = ctx.begin_send(false);
+        if (ctx.deferred()) {
+          EventContext::DeferredOp op;
+          op.kind = EventContext::DeferredOp::Kind::kAck;
+          op.peer = ev.src;
+          op.tseq = ev.tseq;
+          op.send_time = ack_time;
+          ctx.ops_.push_back(std::move(op));
+        } else {
+          replay_ack(ev.dst, ev.src, ev.tseq, ack_time);
+        }
         if (!fresh) {
-          fabric_.note_dup_suppressed(ev.dst);
+          ctx.note_dup_suppressed();
           return;
         }
       }
-      EventContext ctx(*this, ev.dst);
       processes_[static_cast<std::size_t>(ev.dst)]->handle(ctx, ev.src,
                                                            ev.payload);
       return;
     }
     case EventKind::kAck: {
-      fabric_.advance_to(ev.dst, ev.time);
+      ctx.advance_to(ev.time);
       if (ev.corrupted) {
         // A garbled ack is rejected, not trusted: the pending entry stays
         // and the data message will be retransmitted (then re-acked).
-        fabric_.note_corruption_detected(ev.dst);
+        ctx.note_corruption_detected();
         return;
       }
-      auto chan = unacked_.find(channel_key(ev.dst, ev.src));
-      if (chan != unacked_.end()) chan->second.erase(ev.tseq);
+      auto& unacked = transport_state_[static_cast<std::size_t>(ev.dst)].unacked;
+      auto chan = unacked.find(ev.src);
+      if (chan != unacked.end()) chan->second.erase(ev.tseq);
       return;
     }
     case EventKind::kTimer: {
       const Rank sender = ev.dst;
       const Rank peer = ev.src;
-      auto chan = unacked_.find(channel_key(sender, peer));
-      if (chan == unacked_.end()) return;
+      auto& unacked = transport_state_[static_cast<std::size_t>(sender)].unacked;
+      auto chan = unacked.find(peer);
+      if (chan == unacked.end()) return;
       auto it = chan->second.find(ev.tseq);
       if (it == chan->second.end()) return;  // acked meanwhile: timer no-ops
       // Still unacknowledged: the rank sat out the timeout, then retries.
-      const double waited = ev.time - fabric_.now(sender);
-      if (waited > 0.0) fabric_.note_backoff(sender, waited);
-      fabric_.advance_to(sender, ev.time);
-      fabric_.note_retry(sender, peer, it->second.attempt + 1);
-      transmit(sender, peer, ev.tseq);
+      const double waited = ev.time - ctx.now();
+      if (waited > 0.0) ctx.note_backoff(waited);
+      ctx.advance_to(ev.time);
+      Pending& entry = it->second;
+      ctx.note_retry(peer, entry.attempt + 1);
+      entry.attempt += 1;
+      const FaultConfig& F = fabric_.config().fault;
+      const bool final_attempt = entry.attempt >= F.max_attempts;
+      const bool exempt = final_attempt && F.reliable_tail;
+      const double send_time = ctx.begin_send(exempt);
+      if (ctx.deferred()) {
+        // Snapshot the message: a later ack in the same window (processed by
+        // this same shard) may erase the entry before the merge replays the
+        // retransmission.
+        EventContext::DeferredOp op;
+        op.kind = EventContext::DeferredOp::Kind::kRetransmit;
+        op.peer = peer;
+        op.payload = entry.payload;
+        op.records = entry.records;
+        op.attempt = entry.attempt;
+        op.tseq = ev.tseq;
+        op.send_time = send_time;
+        ctx.ops_.push_back(std::move(op));
+      } else {
+        transmit_priced(sender, peer, ev.tseq, entry.payload, entry.records,
+                        entry.attempt, send_time);
+      }
+      // See enqueue(): the exempt tail's delivery is guaranteed, so the
+      // retransmission state goes now.
+      if (exempt) chan->second.erase(ev.tseq);
       return;
     }
   }
 }
 
+void EventEngine::dispatch_window() {
+  // The events of one window, in (time, seq) pop order — the order the
+  // sequential engine would have dispatched them, restored at merge time.
+  std::vector<Event> window;
+  const double horizon = queue_.top().time + window_seconds_;
+  while (!queue_.empty() && queue_.top().time < horizon) {
+    // priority_queue::top is const; the move is safe because the element is
+    // popped immediately after.
+    window.push_back(std::move(const_cast<Event&>(queue_.top())));
+    queue_.pop();
+  }
+
+  // Shard by destination rank (each event mutates only its destination's
+  // clock, process and transport slot). Shards are ordered by rank so a
+  // multi-shard failure deterministically surfaces the lowest rank's error.
+  std::vector<Rank> shard_ranks;
+  std::vector<std::vector<std::uint32_t>> shard_events;
+  {
+    std::vector<std::int32_t> shard_of(
+        static_cast<std::size_t>(num_ranks()), -1);
+    std::vector<Rank> order;
+    for (const Event& ev : window) {
+      if (shard_of[static_cast<std::size_t>(ev.dst)] < 0) {
+        shard_of[static_cast<std::size_t>(ev.dst)] = 0;
+        order.push_back(ev.dst);
+      }
+    }
+    std::sort(order.begin(), order.end());
+    shard_ranks = std::move(order);
+    for (std::size_t s = 0; s < shard_ranks.size(); ++s) {
+      shard_of[static_cast<std::size_t>(shard_ranks[s])] =
+          static_cast<std::int32_t>(s);
+    }
+    shard_events.resize(shard_ranks.size());
+    for (std::uint32_t i = 0; i < window.size(); ++i) {
+      shard_events[static_cast<std::size_t>(
+                       shard_of[static_cast<std::size_t>(window[i].dst)])]
+          .push_back(i);
+    }
+  }
+
+  if (shard_ranks.size() == 1) {
+    // One destination: nothing to run concurrently, and the direct path is
+    // definitionally the sequential schedule.
+    for (const Event& ev : window) {
+      EventContext ctx(*this, ev.dst);
+      dispatch(ev, ctx);
+    }
+    return;
+  }
+
+  // Run the shards concurrently: each against a private lane, recording
+  // per-event op frames. The shared fabric and other ranks' transport slots
+  // are only read.
+  std::vector<CommFabric::Lane> lanes(shard_ranks.size());
+  std::vector<std::vector<EventContext::DeferredOp>> frames(window.size());
+  auto tasks = backend_.make_window();
+  for (std::size_t s = 0; s < shard_ranks.size(); ++s) {
+    tasks.submit([this, s, &shard_ranks, &shard_events, &window, &lanes,
+                  &frames] {
+      lanes[s] = fabric_.make_lane(shard_ranks[s]);
+      for (const std::uint32_t i : shard_events[s]) {
+        EventContext ctx(*this, shard_ranks[s], &lanes[s]);
+        dispatch(window[i], ctx);
+        frames[i] = std::move(ctx.ops_);
+      }
+    });
+  }
+  tasks.wait();
+
+  // Merge: install the lanes' final accounting, then replay every event's
+  // recorded effects in the window's (time, seq) order — which is exactly
+  // the order the sequential engine would have applied them, so sequence
+  // numbers, jitter and fault verdicts, FIFO channel state and trace output
+  // all land bit-identically.
+  for (const CommFabric::Lane& lane : lanes) fabric_.absorb_lane(lane);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    replay_ops(window[i].dst, frames[i]);
+  }
+}
+
+void EventEngine::replay_ops(Rank rank,
+                             std::vector<EventContext::DeferredOp>& ops) {
+  using Kind = EventContext::DeferredOp::Kind;
+  for (EventContext::DeferredOp& op : ops) {
+    switch (op.kind) {
+      case Kind::kSend:
+        enqueue_at(rank, op.peer, std::move(op.payload), op.records,
+                   op.send_time);
+        break;
+      case Kind::kRound:
+        fabric_.set_round(rank, op.round);
+        break;
+      case Kind::kAck:
+        replay_ack(rank, op.peer, op.tseq, op.send_time);
+        break;
+      case Kind::kRetransmit:
+        transmit_priced(rank, op.peer, op.tseq, op.payload, op.records,
+                        op.attempt, op.send_time);
+        break;
+      case Kind::kNoteBackoff:
+        fabric_.note_backoff(rank, op.seconds);
+        break;
+      case Kind::kNoteRetry:
+        fabric_.note_retry_at(op.note_time, rank, op.peer, op.attempt);
+        break;
+      case Kind::kNoteDupSuppressed:
+        fabric_.note_dup_suppressed_at(op.note_time, rank);
+        break;
+      case Kind::kNoteCorruptDetected:
+        fabric_.note_corruption_detected_at(op.note_time, rank);
+        break;
+    }
+  }
+  ops.clear();
+}
+
 void EventEngine::fan_out(const std::vector<Rank>& ranks, FanPhase phase) {
-  const auto invoke = [&](EventContext& ctx) {
-    Process& p = *processes_[static_cast<std::size_t>(ctx.rank_)];
+  const auto invoke = [&](Rank r, EventContext& ctx) {
+    Process& p = *processes_[static_cast<std::size_t>(r)];
     if (phase == FanPhase::kStart) {
       p.start(ctx);
     } else {
@@ -317,32 +551,27 @@ void EventEngine::fan_out(const std::vector<Rank>& ranks, FanPhase phase) {
   if (backend_.mode() == ExecMode::kSequential) {
     for (Rank r : ranks) {
       EventContext ctx(*this, r);
-      invoke(ctx);
+      invoke(r, ctx);
     }
     return;
   }
+  std::vector<CommFabric::Lane> lanes;
+  lanes.reserve(ranks.size());
   std::vector<EventContext> ctxs;
   ctxs.reserve(ranks.size());
-  for (Rank r : ranks) ctxs.push_back(EventContext(*this, r, true));
+  for (Rank r : ranks) {
+    lanes.push_back(fabric_.make_lane(r));
+    ctxs.push_back(EventContext(*this, r, &lanes.back()));
+  }
   // Callbacks run concurrently against their lanes (the shared fabric is
   // only read); the rank-ordered merge below restores the sequential global
   // order of sequence numbers, transport state and trace output.
   backend_.parallel_for(ctxs.size(),
-                        [&](std::size_t i) { invoke(ctxs[i]); });
-  for (EventContext& ctx : ctxs) merge_deferred(ctx);
-}
-
-void EventEngine::merge_deferred(EventContext& ctx) {
-  fabric_.absorb_lane(ctx.lane_);
-  for (EventContext::DeferredOp& op : ctx.ops_) {
-    if (op.kind == EventContext::DeferredOp::Kind::kRound) {
-      fabric_.set_round(ctx.rank_, op.round);
-      continue;
-    }
-    enqueue_at(ctx.rank_, op.dst, std::move(op.payload), op.records,
-               op.send_time);
+                        [&](std::size_t i) { invoke(ranks[i], ctxs[i]); });
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    fabric_.absorb_lane(lanes[i]);
+    replay_ops(ranks[i], ctxs[i].ops_);
   }
-  ctx.ops_.clear();
 }
 
 RunResult EventEngine::run() {
@@ -359,13 +588,18 @@ RunResult EventEngine::run() {
     fan_out(all, FanPhase::kStart);
   }
 
+  const bool windowed =
+      backend_.mode() == ExecMode::kThreads && window_seconds_ > 0.0;
   while (true) {
     while (!queue_.empty()) {
-      // priority_queue::top is const; the payload move is safe because the
-      // element is popped immediately after.
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
-      dispatch(std::move(ev));
+      if (windowed) {
+        dispatch_window();
+      } else {
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        EventContext ctx(*this, ev.dst);
+        dispatch(ev, ctx);
+      }
     }
     bool all_done = true;
     for (const auto& p : processes_) {

@@ -17,7 +17,12 @@
 //     sensitivity discussed around the paper's Fig 3.1).
 //   * The engine pops events globally in (time, sequence) order and invokes
 //     Process::handle on the destination, after advancing that rank's clock
-//     to at least the arrival time.
+//     to at least the arrival time. With a threaded backend, dispatch is
+//     *windowed*: a batch of events closer together than the model's minimum
+//     event-generation lookahead is popped at once, sharded by destination
+//     rank across the thread pool (handlers run against private fabric
+//     lanes), and the recorded effects are merged back in (time, seq) order
+//     — bit-identical to the sequential schedule (DESIGN.md §5c).
 //   * When the queue drains and some rank reports !done(), the engine calls
 //     Process::idle once per such rank; if that generates no messages and
 //     ranks are still unfinished, the run aborts with a deadlock diagnostic.
@@ -47,12 +52,15 @@ class EventEngine;
 
 /// Per-rank API surface handed to Process callbacks.
 ///
-/// During the engine's parallel fan-outs (start and idle, with a threaded
-/// backend) the context runs *deferred*: charges go to a private fabric lane
-/// and sends/round labels are recorded in program order, then replayed
-/// through the fabric in rank order afterwards — so the event schedule is
-/// bit-identical to sequential execution. Event dispatch (handle) always
-/// uses a direct context.
+/// During the engine's parallel phases (the start/idle fan-outs and windowed
+/// event dispatch, with a threaded backend) the context runs *deferred*:
+/// charges go to a private fabric lane (borrowed from the engine — one lane
+/// per rank shard) and every fabric-visible action — sends, round labels,
+/// transport acks/retransmissions, recovery notes — is recorded in program
+/// order, then replayed through the fabric in deterministic order
+/// afterwards, so the event schedule is bit-identical to sequential
+/// execution. With a sequential backend the context is *direct* and every
+/// operation hits the live fabric immediately.
 class EventContext {
  public:
   [[nodiscard]] Rank rank() const noexcept { return rank_; }
@@ -76,25 +84,57 @@ class EventContext {
  private:
   friend class EventEngine;
 
-  /// One recorded deferred action; sends and round labels must replay in
-  /// their original program order (a round label attributes the sends that
-  /// follow it).
+  /// One recorded deferred action; ops must replay in their original program
+  /// order (a round label attributes the sends that follow it, a transport
+  /// ack precedes the handler it unblocked, and so on). Handler-level ops
+  /// (kSend/kRound) and engine-level transport ops share one list so a
+  /// window merge reproduces each event's full effect sequence.
   struct DeferredOp {
-    enum class Kind : std::uint8_t { kSend, kRound } kind = Kind::kSend;
-    Rank dst = kNoRank;
-    std::vector<std::byte> payload;
+    enum class Kind : std::uint8_t {
+      kSend,                 ///< Handler ctx.send (first transmission).
+      kRound,                ///< Trace round label.
+      kAck,                  ///< Transport ack for a delivered data message.
+      kRetransmit,           ///< Retry-timer resend of an unacked message.
+      kNoteBackoff,          ///< Sender sat out a retry timeout.
+      kNoteRetry,            ///< Retry trace/accounting line.
+      kNoteDupSuppressed,    ///< Receiver suppressed a duplicate delivery.
+      kNoteCorruptDetected,  ///< Receiver rejected a garbled frame.
+    };
+    Kind kind = Kind::kSend;
+    Rank peer = kNoRank;             ///< Send/ack target or retry peer.
+    std::vector<std::byte> payload;  ///< kSend; kRetransmit (snapshot).
     std::int64_t records = 0;
-    double send_time = 0.0;
-    int round = 0;
+    double send_time = 0.0;  ///< kSend/kAck/kRetransmit: lane-priced time.
+    double note_time = 0.0;  ///< kNote*: the clock value the note reads.
+    double seconds = 0.0;    ///< kNoteBackoff: waited seconds.
+    int round = 0;           ///< kRound label.
+    int attempt = 0;         ///< kRetransmit/kNoteRetry: attempt number.
+    std::uint64_t tseq = 0;  ///< kAck/kRetransmit: transport sequence.
   };
 
-  EventContext(EventEngine& engine, Rank rank, bool deferred = false);
+  /// Direct context: operations hit the live fabric immediately.
+  EventContext(EventEngine& engine, Rank rank)
+      : engine_(&engine), rank_(rank) {}
+  /// Deferred context over a borrowed lane (owned by the engine's fan-out or
+  /// window shard; one lane may serve many per-event contexts in sequence).
+  EventContext(EventEngine& engine, Rank rank, CommFabric::Lane* lane)
+      : engine_(&engine), rank_(rank), lane_(lane) {}
+
+  [[nodiscard]] bool deferred() const noexcept { return lane_ != nullptr; }
+
+  // Engine-side dispatch helpers: each is the deferred/direct pair of one
+  // sequential-engine operation (record on the lane vs apply to the fabric).
+  void advance_to(double t);
+  double begin_send(bool fault_exempt);
+  void note_backoff(double seconds);
+  void note_retry(Rank peer, int attempt);
+  void note_dup_suppressed();
+  void note_corruption_detected();
 
   EventEngine* engine_;
   Rank rank_;
-  bool deferred_ = false;
-  CommFabric::Lane lane_;         // deferred execution only
-  std::vector<DeferredOp> ops_;   // deferred execution only
+  CommFabric::Lane* lane_ = nullptr;  // deferred execution only (borrowed)
+  std::vector<DeferredOp> ops_;       // deferred execution only
 };
 
 /// A rank's algorithm state machine.
@@ -134,9 +174,12 @@ class EventEngine {
   /// bit-identical to the pre-fault engine.
   ///
   /// `exec` selects the execution backend: with exec.threads > 1 the
-  /// per-rank start() and idle() fan-outs run on a work-stealing pool
-  /// (deferred contexts, rank-ordered merge — bit-identical to sequential);
-  /// event dispatch itself stays sequential (global time order).
+  /// per-rank start() and idle() fan-outs run on a work-stealing pool, and
+  /// event dispatch runs *windowed*: batches of events within the model's
+  /// minimum event-generation lookahead are sharded by destination rank
+  /// across the pool and their recorded effects merged in (time, seq) order.
+  /// Both paths use deferred contexts over private fabric lanes, so the
+  /// observable run is bit-identical to sequential execution.
   EventEngine(MachineModel model, FabricConfig config, ExecConfig exec = {});
 
   /// `jitter_seconds` > 0 adds a deterministic pseudo-random delay in
@@ -200,11 +243,17 @@ class EventEngine {
     int attempt = 0;  ///< Tries made so far.
   };
 
-  static std::uint64_t channel_key(Rank src, Rank dst) noexcept {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
-            << 32) |
-           static_cast<std::uint32_t>(dst);
-  }
+  /// Per-rank reliable-transport bookkeeping. Indexed by rank id so the
+  /// concurrent shards of a dispatch window touch disjoint slots: a rank's
+  /// sender-side state (next_tseq, unacked) is keyed by destination peer and
+  /// only its own timer/ack events mutate it, its receiver-side dedup set
+  /// (delivered) is keyed by source peer and only its own data events do.
+  struct RankTransport {
+    std::unordered_map<Rank, std::uint64_t> next_tseq;
+    std::unordered_map<Rank, std::unordered_map<std::uint64_t, Pending>>
+        unacked;
+    std::unordered_map<Rank, std::unordered_set<std::uint64_t>> delivered;
+  };
 
   void enqueue(Rank src, Rank dst, std::vector<std::byte> payload,
                std::int64_t records);
@@ -214,21 +263,32 @@ class EventEngine {
   void enqueue_at(Rank src, Rank dst, std::vector<std::byte> payload,
                   std::int64_t records, double send_time);
   void push_event(Event ev);
-  /// Sends (or re-sends) unacked_[channel(src,dst)][tseq]; schedules the
-  /// next retry timer unless this was the final attempt. `deferred_send_time`
-  /// set means this is a lane replay: the message is priced at that recorded
-  /// time instead of reading (and advancing) the live clock.
-  void transmit(Rank src, Rank dst, std::uint64_t tseq,
-                double deferred_send_time = -1.0);
-  void send_ack(Rank from, Rank to, std::uint64_t tseq);
-  void dispatch(Event ev);
+  /// Prices and schedules one (re)transmission of `payload` whose
+  /// sender-side clock costs are already paid (send_time is the priced send
+  /// instant), arming the next retry timer unless `attempt` exhausted the
+  /// budget. Shared by the sequential path and the window-merge replay.
+  void transmit_priced(Rank src, Rank dst, std::uint64_t tseq,
+                       const std::vector<std::byte>& payload,
+                       std::int64_t records, int attempt, double send_time);
+  /// Prices and schedules one transport ack whose sender-side clock costs
+  /// are already paid. Acks ride the same lossy fabric but never retry.
+  void replay_ack(Rank from, Rank to, std::uint64_t tseq, double send_time);
+  /// Dispatches one event through `ctx`: direct contexts apply every effect
+  /// to the live fabric (the sequential path), deferred contexts record the
+  /// effects for the window merge.
+  void dispatch(const Event& ev, EventContext& ctx);
+  /// Pops the next window of events (all within window_seconds_ of the
+  /// queue head), dispatches it sharded by destination rank on the backend,
+  /// then merges: absorbs the shard lanes and replays every event's
+  /// recorded ops in (time, seq) pop order.
+  void dispatch_window();
+  /// Replays one deferred context's recorded ops against the live fabric.
+  void replay_ops(Rank rank, std::vector<EventContext::DeferredOp>& ops);
   /// Runs start() (phase == kStart) or idle() over `ranks`: inline and in
   /// order with a sequential backend, concurrently with deferred contexts
   /// merged in rank order with a threaded one.
   enum class FanPhase : std::uint8_t { kStart, kIdle };
   void fan_out(const std::vector<Rank>& ranks, FanPhase phase);
-  /// Absorbs a deferred context's lane and replays its recorded ops.
-  void merge_deferred(EventContext& ctx);
 
   CommFabric fabric_;
   ExecutionBackend backend_;
@@ -238,14 +298,16 @@ class EventEngine {
   std::uint64_t order_seq_ = 0;
   bool ran_ = false;
 
-  /// Reliable transport state (empty unless faults are enabled).
+  /// Windowed-dispatch lookahead: events closer together than this are safe
+  /// to dispatch concurrently because no event can generate a successor
+  /// sooner (DESIGN.md §5c). 0 disables windowing (sequential backend, or a
+  /// degenerate cost model with no minimum event spacing).
+  double window_seconds_ = 0.0;
+
+  /// Reliable transport state, one slot per rank (unused entries stay empty
+  /// unless faults are enabled).
   bool transport_ = false;
-  std::unordered_map<std::uint64_t, std::uint64_t> next_tseq_;
-  std::unordered_map<std::uint64_t,
-                     std::unordered_map<std::uint64_t, Pending>>
-      unacked_;
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
-      delivered_;
+  std::vector<RankTransport> transport_state_;
 };
 
 }  // namespace pmc

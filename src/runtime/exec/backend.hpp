@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace pmc {
 
@@ -52,6 +53,32 @@ class ExecutionBackend {
   /// when sequential, in unspecified order on the pool when threaded.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& fn) const;
+
+  /// One batch of independent tasks with a completion barrier — the unit the
+  /// event engine's windowed dispatch schedules (one task per rank shard).
+  /// Tasks may not start until wait(); wait() blocks until every submitted
+  /// task has run, rethrows the exception of the lowest-numbered throwing
+  /// task, and leaves the window empty and reusable. A wait() with no
+  /// submissions is a no-op barrier; submitting from inside a task of the
+  /// same backend runs the nested window inline (ThreadPool re-entrancy).
+  class TaskWindow {
+   public:
+    void submit(std::function<void()> task) {
+      tasks_.push_back(std::move(task));
+    }
+    void wait();
+
+    [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+
+   private:
+    friend class ExecutionBackend;
+    explicit TaskWindow(const ExecutionBackend* backend) : backend_(backend) {}
+
+    const ExecutionBackend* backend_;
+    std::vector<std::function<void()>> tasks_;
+  };
+
+  [[nodiscard]] TaskWindow make_window() const { return TaskWindow(this); }
 
  private:
   std::shared_ptr<ThreadPool> pool_;

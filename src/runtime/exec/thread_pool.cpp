@@ -4,6 +4,15 @@
 
 namespace pmc {
 
+namespace {
+
+/// The pool whose worker_loop the current thread belongs to (nullptr on
+/// non-worker threads). Lets parallel_for detect re-entrant calls — a worker
+/// submitting a nested job to its own pool would deadlock on run_m_.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(int workers) {
   PMC_REQUIRE(workers >= 1, "thread pool needs at least one worker, got "
                                 << workers);
@@ -28,6 +37,12 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (t_worker_pool == this) {
+    // Nested submit from one of our own workers: run inline. Index order and
+    // first-throw-wins match what the sequential backend would do.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::lock_guard run_lock(run_m_);
   const auto workers = slots_.size();
   std::uint64_t job;
@@ -85,6 +100,7 @@ bool ThreadPool::take(std::size_t self, std::uint64_t job,
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  t_worker_pool = this;
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;

@@ -47,6 +47,11 @@ class ThreadPool {
   /// exception of the lowest-numbered throwing index is rethrown after the
   /// loop drains (matching what a sequential loop would have surfaced
   /// first); the others are discarded.
+  ///
+  /// Re-entrant from a worker: when called from inside a task this pool is
+  /// already running, the loop executes inline on that worker in index order
+  /// (the pool runs one job at a time, so queueing a nested job would
+  /// deadlock on the outer one). n == 0 is a no-op barrier from any thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

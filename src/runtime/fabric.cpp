@@ -101,13 +101,8 @@ void CommFabric::charge(Rank r, double work_units, WorkPhase phase) {
   trace_.on_compute(r, seconds, phase);
 }
 
-CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
-                                              std::size_t payload_bytes,
-                                              std::int64_t records,
-                                              bool fault_exempt) {
-  const FaultConfig& F = config_.fault;
-  const bool faulty = F.enabled() && !fault_exempt;
-  if (faulty) {
+double CommFabric::begin_send(Rank src, bool fault_exempt) {
+  if (config_.fault.enabled() && !fault_exempt) {
     // A stalled sender cannot inject into the network until the window
     // clears (stalls also cover the exempt path: the rank itself is down,
     // not just the lossy link).
@@ -116,8 +111,15 @@ CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
   // Sender pays the per-message software overhead (LogP "o") before the
   // message enters the network — the cost message bundling amortizes.
   clocks_[static_cast<std::size_t>(src)] += model_.send_overhead;
+  return clocks_[static_cast<std::size_t>(src)];
+}
+
+CommFabric::SendReceipt CommFabric::post_send(Rank src, Rank dst,
+                                              std::size_t payload_bytes,
+                                              std::int64_t records,
+                                              bool fault_exempt) {
   return post_send_at(src, dst, payload_bytes, records,
-                      clocks_[static_cast<std::size_t>(src)], fault_exempt);
+                      begin_send(src, fault_exempt), fault_exempt);
 }
 
 CommFabric::SendReceipt CommFabric::post_send_at(Rank src, Rank dst,

@@ -23,6 +23,7 @@
 // pre-fabric engines; tests/test_determinism_regression.cpp pins this.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -147,6 +148,14 @@ class CommFabric {
 
   // ---- point-to-point ------------------------------------------------------
 
+  /// Applies the sender-side cost of one message to src's live clock (the
+  /// stall wait unless the send is fault-exempt, then the software overhead)
+  /// and returns the resulting send time — the live-clock mirror of
+  /// Lane::begin_send(). Callers price the message separately through
+  /// post_send_at(), which keeps every engine send on the single replayable
+  /// pricing path (pmc-lint rule D6).
+  double begin_send(Rank src, bool fault_exempt = false);
+
   /// The shared send path: charges the sender-side software overhead to
   /// src's clock, prices the message with the alpha-beta model (+ optional
   /// deterministic jitter), enforces FIFO non-overtaking on the (src, dst)
@@ -204,6 +213,20 @@ class CommFabric {
     trace_.on_corruption_detected(now(dst), dst);
   }
 
+  /// Time-explicit variants of the recovery hooks, for replaying a parallel
+  /// window's deferred notes: the sequential path reads the rank's clock at
+  /// the moment of the note, so a deferred dispatch records its lane clock
+  /// and the merge reports it here verbatim.
+  void note_retry_at(double time, Rank src, Rank dst, int attempt) {
+    trace_.on_retry(time, src, dst, attempt);
+  }
+  void note_dup_suppressed_at(double time, Rank dst) {
+    trace_.on_dup_suppressed(time, dst);
+  }
+  void note_corruption_detected_at(double time, Rank dst) {
+    trace_.on_corruption_detected(time, dst);
+  }
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
   /// Earliest time >= t at which rank r's network is outside every stall
@@ -234,6 +257,10 @@ class CommFabric {
 
     /// Mirrors CommFabric::set_phase (absorbed into the trace at merge).
     void set_phase(WorkPhase phase) noexcept { phase_ = phase; }
+
+    /// Mirrors CommFabric::advance_to — delivery of an event at time t to
+    /// the replica clock.
+    void advance_to(double t) noexcept { clock_ = std::max(clock_, t); }
 
     /// Applies the sender-side cost of one message (stall wait unless the
     /// send is fault-exempt, then the software overhead) to the replica

@@ -424,5 +424,51 @@ TEST(ThreadInvariance, TraceOutputIsByteIdentical) {
   }
 }
 
+TEST(ThreadInvariance, AsyncMatchingTraceIsByteIdentical) {
+  // The windowed event engine must reproduce the sequential JSONL trace to
+  // the byte at every thread count — event order, send sequencing, fault
+  // verdicts, retry/backoff notes and all — with and without faults.
+  const Graph g = grid_2d(32, 32, WeightKind::kUniformRandom, 61);
+  const Partition p = grid_2d_partition(32, 32, 2, 4);
+  const DistGraph dist = DistGraph::build(g, p);
+
+  DistMatchingOptions scenarios[2];
+  scenarios[1].faults.drop_rate = 0.05;
+  scenarios[1].faults.duplicate_rate = 0.02;
+  scenarios[1].faults.seed = 14;
+  scenarios[1].jitter_seconds = 2e-6;
+  scenarios[1].jitter_seed = 7;
+
+  int scenario = 0;
+  for (auto& opt : scenarios) {
+    std::string base_trace;
+    std::string base_fp;
+    for (const int threads : kThreadSweep) {
+      const std::string path = testing::TempDir() + "pmc_async_trace_" +
+                               std::to_string(scenario) + "_" +
+                               std::to_string(threads) + ".jsonl";
+      opt.trace.jsonl_path = path;
+      opt.exec.threads = threads;
+      const auto r = match_distributed(dist, opt);
+      const std::string fp = fingerprint(r.run, r.max_activations);
+      std::ifstream in(path, std::ios::binary);
+      ASSERT_TRUE(in.good());
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      ASSERT_FALSE(contents.str().empty());
+      if (threads == 1) {
+        base_trace = contents.str();
+        base_fp = fp;
+      } else {
+        EXPECT_EQ(contents.str(), base_trace)
+            << "threads=" << threads << " scenario=" << scenario;
+        EXPECT_EQ(fp, base_fp)
+            << "threads=" << threads << " scenario=" << scenario;
+      }
+    }
+    ++scenario;
+  }
+}
+
 }  // namespace
 }  // namespace pmc

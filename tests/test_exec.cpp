@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <span>
@@ -16,6 +18,7 @@
 #include "core/pmc.hpp"
 #include "partition/simple.hpp"
 #include "runtime/bsp_engine.hpp"
+#include "runtime/event_engine.hpp"
 #include "runtime/exec/thread_pool.hpp"
 
 namespace pmc {
@@ -94,6 +97,26 @@ TEST(ThreadPool, ReusableAcrossJobsAndHandlesSmallN) {
   EXPECT_EQ(total.load(), 100);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineOnWorker) {
+  // A worker that re-enters parallel_for must not wait on the pool's job
+  // lock (that would deadlock); the nested loop runs inline on the worker.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::atomic<int> nested_off_worker{0};
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(4, [&](std::size_t) {
+    const auto outer_thread = std::this_thread::get_id();
+    pool.parallel_for(3, [&](std::size_t) {
+      ++total;
+      if (std::this_thread::get_id() != outer_thread) ++nested_off_worker;
+    });
+  });
+  EXPECT_EQ(total.load(), 12);
+  // Inline execution: every nested index ran on the thread that submitted it.
+  EXPECT_EQ(nested_off_worker.load(), 0);
+  (void)caller;
+}
+
 TEST(ExecutionBackend, SequentialRunsInOrderOnCaller) {
   const ExecutionBackend backend;  // default: sequential
   EXPECT_EQ(backend.mode(), ExecMode::kSequential);
@@ -110,6 +133,48 @@ TEST(ExecutionBackend, ThreadedModeSelectsPool) {
   std::atomic<int> count{0};
   backend.parallel_for(100, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ExecutionBackend, TaskWindowRunsEveryTaskAndIsReusable) {
+  const ExecutionBackend backend(ExecConfig{2});
+  auto window = backend.make_window();
+  window.wait();  // zero-task barrier is a no-op
+  std::atomic<int> count{0};
+  for (int i = 0; i < 7; ++i) {
+    window.submit([&] { ++count; });
+  }
+  EXPECT_EQ(window.size(), 7u);
+  window.wait();
+  EXPECT_EQ(count.load(), 7);
+  EXPECT_EQ(window.size(), 0u);
+  // Reusable: a second batch through the same window.
+  window.submit([&] { count += 10; });
+  window.wait();
+  EXPECT_EQ(count.load(), 17);
+}
+
+TEST(ExecutionBackend, TaskWindowRethrowsLowestIndexFailure) {
+  const ExecutionBackend backend(ExecConfig{4});
+  auto window = backend.make_window();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 6; ++i) {
+    window.submit([&ran, i] {
+      ++ran;
+      if (i == 2) throw std::runtime_error("task two");
+      if (i == 4) throw std::runtime_error("task four");
+    });
+  }
+  try {
+    window.wait();
+    FAIL() << "wait() must rethrow a task failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task two");
+  }
+  EXPECT_EQ(ran.load(), 6);  // every task still ran to completion
+  // The window is drained and usable again after a failed batch.
+  window.submit([&ran] { ++ran; });
+  window.wait();
+  EXPECT_EQ(ran.load(), 7);
 }
 
 // ---------------------------------------------------------------------------
@@ -179,6 +244,85 @@ TEST(ExecEquivalence, BspDeferredPhasesMatchSequential) {
     const auto run = run_bsp_scenario(threads, &drops);
     EXPECT_EQ(fabric_fingerprint(run), base) << "threads=" << threads;
     EXPECT_EQ(drops, drops1) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event-path equivalence: windowed multi-threaded dispatch must reproduce the
+// sequential event engine exactly — including transport retries whose timers
+// fire inside a window — mirroring the BSP probe above for the async path.
+
+/// Gossip: every rank opens by messaging its two clockwise neighbours; each
+/// delivery below the size cap is answered with a two-byte-larger reply, so
+/// traffic criss-crosses ranks densely enough that windows hold events for
+/// several shards at once.
+class GossipProcess final : public Process {
+ public:
+  GossipProcess(Rank rank, Rank ranks) : rank_(rank), ranks_(ranks) {}
+
+  void start(EventContext& ctx) override {
+    for (Rank hop = 1; hop <= 2; ++hop) {
+      ctx.charge(1.5 * static_cast<double>(rank_ + hop));
+      ctx.send((rank_ + hop) % ranks_, std::vector<std::byte>(8), 1);
+    }
+  }
+
+  void handle(EventContext& ctx, Rank src,
+              std::span<const std::byte> payload) override {
+    ++received_;
+    ctx.charge(static_cast<double>(payload.size()));
+    if (payload.size() < 24) {
+      ctx.send(src, std::vector<std::byte>(payload.size() + 2), 1);
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return true; }
+
+  [[nodiscard]] std::int64_t received() const { return received_; }
+
+ private:
+  Rank rank_;
+  Rank ranks_;
+  std::int64_t received_ = 0;
+};
+
+RunResult run_gossip_scenario(int threads, std::int64_t* received_total) {
+  constexpr Rank kRanks = 8;
+  FabricConfig config;
+  config.jitter_seconds = 1e-6;
+  config.jitter_seed = 11;
+  config.fault.drop_rate = 0.25;
+  config.fault.duplicate_rate = 0.05;
+  config.fault.seed = 3;
+  EventEngine engine(MachineModel::blue_gene_p(), config, ExecConfig{threads});
+  std::vector<const GossipProcess*> procs;
+  for (Rank r = 0; r < kRanks; ++r) {
+    auto p = std::make_unique<GossipProcess>(r, kRanks);
+    procs.push_back(p.get());
+    engine.add_process(std::move(p));
+  }
+  RunResult out = engine.run();
+  if (received_total != nullptr) {
+    *received_total = 0;
+    for (const GossipProcess* p : procs) *received_total += p->received();
+  }
+  return out;
+}
+
+TEST(ExecEquivalence, EventWindowedDispatchMatchesSequential) {
+  std::int64_t received1 = 0;
+  const RunResult base_run = run_gossip_scenario(1, &received1);
+  const std::string base = fabric_fingerprint(base_run);
+  EXPECT_GT(received1, 0);
+  // Drops force the reliable transport's retry timers to fire mid-run, so
+  // the windowed path has to replay timer events and backoff draws too.
+  EXPECT_GT(base_run.breakdown.total_faults().retries, 0);
+  EXPECT_GT(base_run.breakdown.total_faults().drops, 0);
+  for (const int threads : {2, 4, 8}) {
+    std::int64_t received = 0;
+    const RunResult run = run_gossip_scenario(threads, &received);
+    EXPECT_EQ(fabric_fingerprint(run), base) << "threads=" << threads;
+    EXPECT_EQ(received, received1) << "threads=" << threads;
   }
 }
 

@@ -1,5 +1,5 @@
 // Fixture suite for pmc-lint (tools/pmc-lint): every determinism rule
-// D1–D5 must both fire on its violation fixture and stay silent on the
+// D1–D6 must both fire on its violation fixture and stay silent on the
 // conforming one, the allow() suppression path must work (and demand a
 // justification), and the path-based rule scoping must carve out the
 // sanctioned homes (rng/timer for entropy, serialize for raw bytes).
@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -111,6 +112,48 @@ TEST(LintD5, SilentOnIntegerFoldsAndSortedSnapshots) {
   EXPECT_TRUE(with_rule(lint_fixture("d5_clean.cpp"), "D5").empty());
 }
 
+// ---- D6: direct post_send in event-path code --------------------------------
+
+TEST(LintD6, FiresOnDirectPostSendInHandlerCode) {
+  const auto d6 = with_rule(lint_fixture("d6_violation.cpp"), "D6");
+  ASSERT_EQ(d6.size(), 1u);
+  EXPECT_FALSE(d6[0].suppressed);
+  EXPECT_EQ(d6[0].line, 22);
+  EXPECT_NE(d6[0].message.find("EventContext::send"), std::string::npos);
+}
+
+TEST(LintD6, SilentOnDeferredSendAndExplicitTimePricing) {
+  // ctx.send + begin_send/post_send_at are the sanctioned routes.
+  EXPECT_TRUE(with_rule(lint_fixture("d6_clean.cpp"), "D6").empty());
+}
+
+TEST(LintD6, SilentWhenTheFileNeverMentionsEventContext) {
+  // The BSP engine's direct superstep path may call post_send: the content
+  // gate keeps files with no EventContext involvement out of scope even
+  // when the path predicate matches.
+  std::ifstream in(fixture("d6_violation.cpp"), std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string::size_type pos;
+  while ((pos = text.find("EventContext")) != std::string::npos) {
+    text.replace(pos, std::strlen("EventContext"), "SuperstepSlot");
+  }
+  const auto diags =
+      pmc_lint::analyze_source("src/matching/x.cpp", text,
+                               pmc_lint::scope_for_path("src/matching/x.cpp"));
+  EXPECT_TRUE(with_rule(diags, "D6").empty());
+}
+
+TEST(LintD6, SuppressionNeedsAJustification) {
+  const auto d6 = with_rule(lint_fixture("d6_suppressed.cpp"), "D6");
+  ASSERT_EQ(d6.size(), 2u);
+  EXPECT_TRUE(d6[0].suppressed);
+  EXPECT_EQ(d6[0].justification,
+            "sequential-only debug harness, never run windowed");
+  EXPECT_FALSE(d6[1].suppressed);
+}
+
 // ---- rule scoping ----------------------------------------------------------
 
 TEST(LintScope, SanctionedHomesAreExempt) {
@@ -135,6 +178,16 @@ TEST(LintScope, D1BindsToMessageProducingDirectories) {
   // Absolute build paths normalize to the repo-relative form.
   EXPECT_TRUE(
       pmc_lint::scope_for_path("/root/repo/src/matching/parallel.cpp").d1);
+}
+
+TEST(LintScope, D6BindsToTheEventPath) {
+  EXPECT_TRUE(pmc_lint::scope_for_path("src/runtime/event_engine.cpp").d6);
+  EXPECT_TRUE(pmc_lint::scope_for_path("src/runtime/event_engine.hpp").d6);
+  EXPECT_TRUE(pmc_lint::scope_for_path("src/matching/parallel.cpp").d6);
+  EXPECT_TRUE(pmc_lint::scope_for_path("src/coloring/parallel.cpp").d6);
+  // The BSP engine and the fabric itself legitimately own post_send.
+  EXPECT_FALSE(pmc_lint::scope_for_path("src/runtime/bsp_engine.cpp").d6);
+  EXPECT_FALSE(pmc_lint::scope_for_path("src/runtime/fabric.cpp").d6);
 }
 
 TEST(LintScope, PathScopingChangesTheFindings) {

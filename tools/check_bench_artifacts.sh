@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Perf-regression guard over the committed BENCH_*.json baselines.
+#
+# Each committed artifact must (a) parse as JSON, (b) carry the sweep
+# metadata (bench name, hardware_concurrency, rows), (c) have every row
+# carry workload/threads/sim_seconds/wall_seconds, and (d) keep each
+# workload's modelled sim_seconds bit-identical across the thread sweep —
+# the execution backend's contract: thread count may change wall-clock
+# time only, never what the simulation computes.
+#
+#   ./tools/check_bench_artifacts.sh [artifact.json ...]
+#
+# With no arguments, checks every BENCH_*.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+  artifacts=("$@")
+else
+  shopt -s nullglob
+  artifacts=(BENCH_*.json)
+  shopt -u nullglob
+fi
+if [ "${#artifacts[@]}" -eq 0 ]; then
+  echo "check_bench_artifacts: no BENCH_*.json artifacts found" >&2
+  exit 1
+fi
+
+python3 - "${artifacts[@]}" <<'EOF'
+import json
+import sys
+
+REQUIRED_ROW_KEYS = ("workload", "threads", "sim_seconds", "wall_seconds")
+failures = 0
+
+
+def fail(path, msg):
+    global failures
+    failures += 1
+    print(f"check_bench_artifacts: {path}: {msg}", file=sys.stderr)
+
+
+for path in sys.argv[1:]:
+    failures_before = failures
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+        continue
+    for key in ("bench", "hardware_concurrency", "rows"):
+        if key not in doc:
+            fail(path, f"missing top-level key '{key}'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(path, "'rows' must be a non-empty list")
+        continue
+    sim_by_workload = {}
+    threads_by_workload = {}
+    for i, row in enumerate(rows):
+        missing = [k for k in REQUIRED_ROW_KEYS if k not in row]
+        if missing:
+            fail(path, f"row {i} missing key(s): {', '.join(missing)}")
+            continue
+        w = row["workload"]
+        threads_by_workload.setdefault(w, set()).add(row["threads"])
+        sim_by_workload.setdefault(w, set()).add(row["sim_seconds"])
+    for w, sims in sim_by_workload.items():
+        if len(sims) != 1:
+            fail(path,
+                 f"workload '{w}': sim_seconds moved across the thread "
+                 f"sweep ({sorted(sims)}) — the backend must be "
+                 f"bit-identical at every thread count")
+    for w, threads in threads_by_workload.items():
+        if 1 not in threads:
+            fail(path, f"workload '{w}': no threads=1 baseline row")
+        if len(threads) < 2:
+            fail(path, f"workload '{w}': sweep has a single thread count")
+    if failures == failures_before:
+        n = len(rows)
+        hw = doc.get("hardware_concurrency")
+        print(f"check_bench_artifacts: {path}: OK "
+              f"({n} rows, {len(sim_by_workload)} workload(s), "
+              f"hardware_concurrency={hw})")
+
+sys.exit(1 if failures else 0)
+EOF

@@ -1,0 +1,30 @@
+// Fixture: D6 must stay silent — handler code sending through the
+// EventContext deferred API, and merge code pricing at an explicit time
+// via post_send_at. Scan fodder for the lint fixture suite, not compiled.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Rank = std::int32_t;
+
+struct CommFabric {
+  double post_send_at(Rank, Rank, std::size_t, std::int64_t, double);
+  double begin_send(Rank, bool);
+};
+
+struct EventContext {
+  Rank rank;
+  void send(Rank dst, std::vector<std::byte> payload, std::int64_t records);
+};
+
+void handle(EventContext& ctx, Rank src, std::vector<std::byte> reply) {
+  // The deferred path: the lane records the send; the engine replays it at
+  // the window boundary in (time, rank, seq) order.
+  ctx.send(src, std::move(reply), 1);
+}
+
+void merge(CommFabric& fabric, Rank src, Rank dst, std::size_t bytes) {
+  // Engine-side replay: price at the explicitly recorded send time.
+  const double t = fabric.begin_send(src, false);
+  fabric.post_send_at(src, dst, bytes, 1, t);
+}

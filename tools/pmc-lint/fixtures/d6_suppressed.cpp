@@ -1,0 +1,26 @@
+// Fixture: the D6 suppression path — a direct post_send covered by a
+// justified allow() comment must be reported as suppressed, and an allow()
+// without a justification must not count. Scan fodder, not compiled.
+#include <cstddef>
+#include <cstdint>
+
+using Rank = std::int32_t;
+
+struct CommFabric {
+  double post_send(Rank, Rank, std::size_t, std::int64_t);
+};
+
+struct EventContext {
+  CommFabric* fabric;
+  Rank rank;
+};
+
+void justified(EventContext& ctx, Rank dst) {
+  // pmc-lint: allow(D6): sequential-only debug harness, never run windowed
+  ctx.fabric->post_send(ctx.rank, dst, 8, 1);
+}
+
+void unjustified(EventContext& ctx, Rank dst) {
+  // pmc-lint: allow(D6)
+  ctx.fabric->post_send(ctx.rank, dst, 8, 1);
+}

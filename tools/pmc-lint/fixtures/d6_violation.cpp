@@ -1,0 +1,23 @@
+// Fixture: D6 must fire — an EventContext handler sending through the
+// fabric's live-clock post_send instead of the lane deferred API. Scan
+// fodder for the lint fixture suite, not compiled.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Rank = std::int32_t;
+
+struct CommFabric {
+  double post_send(Rank, Rank, std::size_t, std::int64_t);
+  double post_send_at(Rank, Rank, std::size_t, std::int64_t, double);
+};
+
+struct EventContext {
+  CommFabric* fabric;
+  Rank rank;
+};
+
+void handle(EventContext& ctx, Rank src, std::vector<std::byte> reply) {
+  // Bypasses the deferred send path: reads and advances the live clock.
+  ctx.fabric->post_send(ctx.rank, src, reply.size(), 1);
+}

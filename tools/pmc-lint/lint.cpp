@@ -221,6 +221,12 @@ class Analyzer {
 
   std::vector<Diagnostic> run() {
     collect_declared_vars();
+    for (const Token& t : tokens_) {
+      if (t.is_ident && t.text == "EventContext") {
+        mentions_event_context_ = true;
+        break;
+      }
+    }
     check_banned_calls();
     check_range_loops();
     check_decoder_scopes();
@@ -334,6 +340,20 @@ class Analyzer {
                        "' — nondeterministic source; use pmc::Rng / "
                        "WallTimer (steady_clock) instead");
           }
+        }
+      }
+      if (scope_.d6 && mentions_event_context_) {
+        // post_send_at tokenizes as its own identifier, so the replayable
+        // pricing path never matches. Requiring a member call ('.'/'->')
+        // keeps declarations and stub prototypes out; every real send in
+        // the event path goes through a fabric object.
+        if (t.text == "post_send" && tok(i + 1).text == "(" && member) {
+          report("D6", t.line,
+                 "direct post_send in event-path code — the live-clock send "
+                 "path cannot be replayed by windowed dispatch; route "
+                 "handler sends through EventContext::send (lane deferred "
+                 "API) and engine sends through begin_send() + "
+                 "post_send_at()");
         }
       }
       if (scope_.d3) {
@@ -498,6 +518,9 @@ class Analyzer {
   std::vector<Token> tokens_;
   std::unordered_set<std::string> unordered_vars_;
   std::unordered_set<std::string> float_vars_;
+  /// D6 content gate: the rule only polices files that actually touch the
+  /// event-dispatch API (declared handlers, the engine itself).
+  bool mentions_event_context_ = false;
   std::vector<Diagnostic> diags_;
 };
 
@@ -530,10 +553,15 @@ RuleScope scope_for_path(const std::string& path) {
   scope.d1 = starts_with(p, "src/matching/") ||
              starts_with(p, "src/coloring/") ||
              starts_with(p, "src/runtime/");
+  scope.d6 = starts_with(p, "src/runtime/event_engine.") ||
+             starts_with(p, "src/matching/") ||
+             starts_with(p, "src/coloring/");
   return scope;
 }
 
-RuleScope all_rules() { return RuleScope{true, true, true, true, true}; }
+RuleScope all_rules() {
+  return RuleScope{true, true, true, true, true, true};
+}
 
 std::vector<Diagnostic> analyze_source(const std::string& path,
                                        const std::string& contents,

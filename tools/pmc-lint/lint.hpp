@@ -29,6 +29,14 @@
 //   D5  no float/double accumulation inside an unordered-container
 //       range-iteration anywhere in src/ — FP addition is order-sensitive,
 //       so a hash-order reduction is silently nondeterministic.
+//   D6  no direct CommFabric::post_send in event-path code (the event
+//       engine and any file handling an EventContext: src/matching,
+//       src/coloring). post_send reads and advances the live sender clock,
+//       which a windowed parallel dispatch cannot replay — sends must route
+//       through EventContext::send / the Lane deferred API, or through
+//       begin_send() + post_send_at() on the merge path. Files that never
+//       mention EventContext (the BSP engine's direct superstep path) are
+//       out of scope.
 #pragma once
 
 #include <string>
@@ -39,7 +47,7 @@ namespace pmc_lint {
 /// One finding. `suppressed` is true when a well-formed allow() comment with
 /// a justification covers the line.
 struct Diagnostic {
-  std::string rule;     ///< "D1".."D5".
+  std::string rule;     ///< "D1".."D6".
   std::string file;     ///< Path as given to analyze_file.
   int line = 0;         ///< 1-based.
   std::string message;  ///< Human-readable explanation.
@@ -54,6 +62,7 @@ struct RuleScope {
   bool d3 = false;  ///< Everything except serialize.*.
   bool d4 = true;   ///< Decoder hygiene applies everywhere.
   bool d5 = false;  ///< All of src/.
+  bool d6 = false;  ///< Event-path code (event engine, matching, coloring).
 };
 
 /// Scope for a path as the CI lint run uses it: `path` is normalized to the
