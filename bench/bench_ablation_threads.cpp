@@ -54,6 +54,8 @@ int run(int argc, const char** argv) {
   opts.add("json", "BENCH_threads.json", "summary JSON path (empty = none)");
   opts.add("async-json", "BENCH_threads_async.json",
            "async (event-engine) sweep JSON path (empty = none)");
+  opts.add("coloring-async-json", "BENCH_threads_coloring_async.json",
+           "async-superstep coloring sweep JSON path (empty = none)");
   (void)opts.parse(argc, argv);
   const auto side = static_cast<VertexId>(opts.get_int("grid"));
   const auto ranks = static_cast<Rank>(opts.get_int("ranks"));
@@ -139,6 +141,38 @@ int run(int argc, const char** argv) {
        }},
   };
 
+  // kAsync supersteps poll mid-round; small supersteps + boundary-first
+  // ordering make those polls actually deliver, so the sweep exercises the
+  // snapshot-harvest parallel path rather than an empty-inbox special case.
+  const std::vector<Workload> coloring_async_workloads = {
+      {"coloring-async",
+       [&](int threads) {
+         auto o = DistColoringOptions::improved();
+         o.superstep_size = 16;
+         o.local_order = LocalOrder::kBoundaryFirst;
+         o.exec.threads = threads;
+         return color_distributed(dist, o).run;
+       }},
+      {"coloring-async-faults",
+       [&](int threads) {
+         auto o = DistColoringOptions::improved();
+         o.superstep_size = 16;
+         o.local_order = LocalOrder::kBoundaryFirst;
+         o.faults.drop_rate = 0.05;
+         o.faults.duplicate_rate = 0.02;
+         o.faults.seed = 14;
+         o.exec.threads = threads;
+         return color_distributed(dist, o).run;
+       }},
+      {"distance2-async",
+       [&](int threads) {
+         auto o = DistColoringOptions::improved();
+         o.superstep_size = 16;
+         o.exec.threads = threads;
+         return color_distance2_distributed_native(g, p, o).run;
+       }},
+  };
+
   const auto sweep = [&](const std::vector<Workload>& workloads,
                          std::ostringstream& json_rows) {
     bool first_row = true;
@@ -176,8 +210,10 @@ int run(int argc, const char** argv) {
 
   std::ostringstream sync_rows;
   std::ostringstream async_rows;
+  std::ostringstream coloring_async_rows;
   sweep(sync_workloads, sync_rows);
   sweep(async_workloads, async_rows);
+  sweep(coloring_async_workloads, coloring_async_rows);
   table.print(std::cout);
 
   const unsigned hw = std::thread::hardware_concurrency();
@@ -196,6 +232,8 @@ int run(int argc, const char** argv) {
   };
   write_json(opts.get("json"), "ablation_threads", sync_rows);
   write_json(opts.get("async-json"), "ablation_threads_async", async_rows);
+  write_json(opts.get("coloring-async-json"), "ablation_threads_coloring_async",
+             coloring_async_rows);
   std::cout << "(host advertises " << hw
             << " hardware thread(s); wall-clock speedup is bounded by real "
                "cores, the sim column by design must not move)\n";

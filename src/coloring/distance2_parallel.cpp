@@ -232,17 +232,17 @@ DistColoringResult color_distance2_distributed_native(
     const VertexId steps =
         (max_todo + options.superstep_size - 1) / options.superstep_size;
     for (VertexId k = 0; k < steps; ++k) {
-      // Asynchronous supersteps poll mid-superstep (a cross-rank read), so
-      // they only parallelize in sync mode — same rule as the distance-1
-      // coloring.
-      engine.run_ranks(sync_mode, [&](BspEngine::RankCtx& ctx) {
+      // Asynchronous supersteps poll mid-superstep, so they go through the
+      // snapshot-harvest path — same rule as the distance-1 coloring. The
+      // receive charge scales with records applied (codec-invariant), not
+      // encoded payload bytes.
+      const auto superstep = [&](BspEngine::RankCtx& ctx) {
         const Rank r = ctx.rank();
         D2RankState& st = states[static_cast<std::size_t>(r)];
         if (!sync_mode) {
           for (const BspMessage& msg : ctx.poll()) {
             d2_apply_records(st, msg);
-            ctx.charge(static_cast<double>(msg.payload.size()) / 12.0,
-                       WorkPhase::kBoundary);
+            ctx.charge(static_cast<double>(msg.records), WorkPhase::kBoundary);
           }
         }
         const auto begin = static_cast<std::size_t>(k * options.superstep_size);
@@ -268,7 +268,12 @@ DistColoringResult color_distance2_distributed_native(
           }
         }
         st.stage.flush(SendPolicy::kCustomizedNeighbors, r, send_from(ctx));
-      });
+      };
+      if (sync_mode) {
+        engine.run_ranks(true, superstep);
+      } else {
+        engine.run_ranks_snapshot(superstep);
+      }
       ++result.total_supersteps;
       if (sync_mode) {
         engine.barrier();
@@ -360,6 +365,8 @@ DistColoringResult color_distance2_distributed_native(
   engine.fabric().export_into(result.run);
   result.run.wall_seconds = wall.seconds();
   result.run.rounds = result.rounds;
+  result.snapshot_parallel_supersteps = engine.snapshot_parallel_phases();
+  result.snapshot_fallback_supersteps = engine.snapshot_fallback_phases();
   return result;
 }
 

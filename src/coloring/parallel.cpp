@@ -97,8 +97,10 @@ DistColoringResult color_distributed(const DistGraph& dist,
                    FabricConfig{0.0, 0, options.faults, options.trace},
                    options.exec);
   const bool faults_on = engine.faults_enabled();
-  // Asynchronous supersteps read other ranks' same-superstep messages via
-  // poll(), so only the synchronous mode's compute may run concurrently.
+  // Synchronous supersteps parallelize unconditionally; asynchronous ones go
+  // through run_ranks_snapshot(), which pre-harvests each rank's poll()
+  // result and parallelizes whenever the clock-only safety check proves the
+  // schedule byte-identical to sequential execution.
   const bool sync_mode = options.superstep_mode == SuperstepMode::kSync;
 
   std::vector<RankState> states(static_cast<std::size_t>(P));
@@ -198,17 +200,18 @@ DistColoringResult color_distributed(const DistGraph& dist,
     const VertexId steps =
         (max_todo + options.superstep_size - 1) / options.superstep_size;
     for (VertexId k = 0; k < steps; ++k) {
-      engine.run_ranks(sync_mode, [&](BspEngine::RankCtx& ctx) {
+      const auto superstep = [&](BspEngine::RankCtx& ctx) {
         const Rank r = ctx.rank();
         RankState& st = states[static_cast<std::size_t>(r)];
         const LocalGraph& lg = *st.lg;
         // Asynchronous receive: use whatever color information has arrived
-        // by this rank's local time.
+        // by this rank's local time. The charge scales with the records
+        // applied, not the encoded payload size, so modelled receive cost
+        // is invariant under the wire codec.
         if (!sync_mode) {
           for (const BspMessage& msg : ctx.poll()) {
             apply_color_records(st, msg);
-            ctx.charge(static_cast<double>(msg.payload.size()) / 12.0,
-                       WorkPhase::kBoundary);
+            ctx.charge(static_cast<double>(msg.records), WorkPhase::kBoundary);
           }
         }
         const auto begin = static_cast<std::size_t>(k * options.superstep_size);
@@ -236,7 +239,12 @@ DistColoringResult color_distributed(const DistGraph& dist,
         }
         // Send this superstep's boundary colors under the configured policy.
         st.stage.flush(options.comm_mode, r, send_from(ctx));
-      });
+      };
+      if (sync_mode) {
+        engine.run_ranks(true, superstep);
+      } else {
+        engine.run_ranks_snapshot(superstep);
+      }
       ++result.total_supersteps;
       if (sync_mode) {
         engine.barrier();
@@ -328,6 +336,8 @@ DistColoringResult color_distributed(const DistGraph& dist,
   engine.fabric().export_into(result.run);
   result.run.wall_seconds = wall.seconds();
   result.run.rounds = result.rounds;
+  result.snapshot_parallel_supersteps = engine.snapshot_parallel_phases();
+  result.snapshot_fallback_supersteps = engine.snapshot_fallback_phases();
   return result;
 }
 

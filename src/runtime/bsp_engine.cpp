@@ -1,6 +1,7 @@
 #include "runtime/bsp_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/error.hpp"
 
@@ -42,7 +43,7 @@ CommFabric::SendReceipt BspEngine::send(Rank src, Rank dst,
     reject_corrupted(dst, receipt, std::move(payload));
     return receipt;
   }
-  deliver(dst, src, receipt.arrival, std::move(payload));
+  deliver(dst, src, receipt.arrival, records, std::move(payload));
   return receipt;
 }
 
@@ -59,10 +60,11 @@ void BspEngine::reject_corrupted(Rank dst,
 }
 
 void BspEngine::deliver(Rank dst, Rank src, double arrival,
-                        std::vector<std::byte> payload) {
+                        std::int64_t records, std::vector<std::byte> payload) {
   BspMessage msg;
   msg.src = src;
   msg.arrival = arrival;
+  msg.records = records;
   msg.payload = std::move(payload);
   // Insert keeping the inbox sorted by arrival; messages mostly arrive in
   // order so the scan from the back is near O(1).
@@ -85,14 +87,19 @@ std::vector<BspMessage> BspEngine::poll(Rank r) {
   return out;
 }
 
-void BspEngine::barrier() {
-  double horizon = fabric_.max_time();
+double BspEngine::pending_horizon() const {
+  // Each inbox is kept sorted by arrival (deliver() inserts in order), so
+  // its latest pending arrival is its back() — O(P) total instead of the
+  // O(P * inflight) rescan of every message.
+  double horizon = 0.0;
   for (const auto& inbox : inboxes_) {
-    for (const auto& msg : inbox) {
-      horizon = std::max(horizon, msg.arrival);
-    }
+    if (!inbox.empty()) horizon = std::max(horizon, inbox.back().arrival);
   }
-  fabric_.complete_collective(horizon);
+  return horizon;
+}
+
+void BspEngine::barrier() {
+  fabric_.complete_collective(std::max(fabric_.max_time(), pending_horizon()));
 }
 
 std::vector<BspMessage> BspEngine::drain(Rank r) {
@@ -117,6 +124,7 @@ double BspEngine::RankCtx::now() const {
 }
 
 void BspEngine::RankCtx::charge(double work_units) {
+  dirty_ = true;
   if (deferred_) {
     lane_.charge(work_units);
   } else {
@@ -125,6 +133,7 @@ void BspEngine::RankCtx::charge(double work_units) {
 }
 
 void BspEngine::RankCtx::charge(double work_units, WorkPhase phase) {
+  dirty_ = true;
   if (deferred_) {
     lane_.charge(work_units, phase);
   } else {
@@ -134,6 +143,7 @@ void BspEngine::RankCtx::charge(double work_units, WorkPhase phase) {
 
 void BspEngine::RankCtx::send(Rank dst, std::vector<std::byte> payload,
                               std::int64_t records) {
+  dirty_ = true;
   if (deferred_) {
     const double send_time = lane_.begin_send();
     sends_.push_back(
@@ -145,6 +155,7 @@ void BspEngine::RankCtx::send(Rank dst, std::vector<std::byte> payload,
 
 void BspEngine::RankCtx::send(Rank dst, std::vector<std::byte> payload,
                               std::int64_t records, ReceiptFn on_receipt) {
+  dirty_ = true;
   if (deferred_) {
     const double send_time = lane_.begin_send();
     sends_.push_back(
@@ -159,9 +170,20 @@ void BspEngine::RankCtx::send(Rank dst, std::vector<std::byte> payload,
 }
 
 std::vector<BspMessage> BspEngine::RankCtx::poll() {
-  PMC_REQUIRE(!deferred_,
-              "RankCtx::poll() reads cross-rank state and is only available "
-              "in sequential phases (run_ranks(allow_parallel=false))");
+  PMC_REQUIRE(poll_allowed_,
+              "RankCtx::poll() reads mid-superstep cross-rank state and is "
+              "only available inside run_ranks_snapshot() phases");
+  PMC_REQUIRE(!polled_,
+              "RankCtx::poll() may be called at most once per superstep "
+              "callback");
+  // A poll after the clock has advanced could observe pre-existing arrivals
+  // in (entry clock, advanced clock] that the harvested snapshot cannot
+  // contain; forbidding it keeps both execution paths byte-identical.
+  PMC_REQUIRE(!dirty_,
+              "RankCtx::poll() must precede every charge and send in the "
+              "callback (it is resolved at the superstep-entry clock)");
+  polled_ = true;
+  if (deferred_) return std::move(snapshot_);
   return engine_->poll(rank_);
 }
 
@@ -193,6 +215,78 @@ void BspEngine::run_ranks(bool allow_parallel,
   for (Rank r = 0; r < P; ++r) merge(ctxs[static_cast<std::size_t>(r)]);
 }
 
+bool BspEngine::snapshot_parallel_safe() const {
+  const Rank P = num_ranks();
+  const MachineModel& m = fabric_.model();
+  // Lower bound on the arrival of anything rank s could send this
+  // superstep, evaluated in the live send path's own floating-point op
+  // order: begin_send() computes fl(clock + send_overhead) (a fault stall
+  // can only push the clock later first), post_send_at() adds
+  // message_seconds(payload) >= message_seconds(0) — monotone in the
+  // payload under round-to-nearest — and everything after (jitter, delay,
+  // receiver stall, FIFO ordering) only adds nonnegative cost or takes a
+  // max. So fl(fl(clock_s + send_overhead) + message_seconds(0)) never
+  // exceeds the true arrival.
+  double prefix_min_bound = std::numeric_limits<double>::infinity();
+  for (Rank r = 0; r < P; ++r) {
+    const double clock_r = fabric_.now(r);
+    // Rank r's poll could see a same-superstep send from some s < r: the
+    // harvest pass cannot reproduce that, so the whole superstep falls
+    // back to sequential execution (all-or-nothing keeps the decision a
+    // pure function of the entry clocks).
+    if (!(clock_r < prefix_min_bound)) return false;
+    const double bound_r = (clock_r + m.send_overhead) + m.message_seconds(0.0);
+    prefix_min_bound = std::min(prefix_min_bound, bound_r);
+  }
+  return true;
+}
+
+void BspEngine::run_ranks_snapshot(const std::function<void(RankCtx&)>& body) {
+  const Rank P = num_ranks();
+  if (!snapshot_parallel_safe()) {
+    // Exact fallback: live polls under the historical rank-ordered
+    // sequential schedule. The safety check reads only rank clocks, so
+    // every thread count reaches this branch for the same supersteps.
+    ++snapshot_fallback_phases_;
+    for (Rank r = 0; r < P; ++r) {
+      RankCtx ctx(*this, r, /*deferred=*/false);
+      ctx.poll_allowed_ = true;
+      body(ctx);
+    }
+    return;
+  }
+  // Harvest pass: with no same-superstep arrival able to land at or before
+  // any rank's entry clock, each rank's poll() result is exactly the set of
+  // pre-existing messages already arrived — resolvable before compute runs.
+  ++snapshot_parallel_phases_;
+  std::vector<RankCtx> ctxs;
+  ctxs.reserve(static_cast<std::size_t>(P));
+  for (Rank r = 0; r < P; ++r) {
+    ctxs.push_back(RankCtx(*this, r, /*deferred=*/true));
+    ctxs.back().poll_allowed_ = true;
+    ctxs.back().snapshot_ = poll(r);
+  }
+  // Callbacks touch only their own lane and immutable snapshot inbox; under
+  // a sequential backend parallel_for runs them in rank order on the caller.
+  backend_.parallel_for(static_cast<std::size_t>(P),
+                        [&](std::size_t i) { body(ctxs[i]); });
+  for (Rank r = 0; r < P; ++r) {
+    RankCtx& ctx = ctxs[static_cast<std::size_t>(r)];
+    // A callback that never polled leaves its harvested messages pending.
+    // Their arrivals are <= the rank's entry clock, which is below every
+    // arrival still in (or about to enter) the inbox, so re-prepending in
+    // original order preserves the sorted-inbox invariant.
+    if (!ctx.polled_ && !ctx.snapshot_.empty()) {
+      auto& inbox = inboxes_[static_cast<std::size_t>(r)];
+      inbox.insert(inbox.begin(),
+                   std::make_move_iterator(ctx.snapshot_.begin()),
+                   std::make_move_iterator(ctx.snapshot_.end()));
+    }
+    ctx.snapshot_.clear();
+    merge(ctx);
+  }
+}
+
 void BspEngine::merge(RankCtx& ctx) {
   // Absorb the lane before replaying its sends: a send's dup-suppression
   // trace event reads the *receiver's* clock, which must already be final
@@ -214,7 +308,8 @@ void BspEngine::merge(RankCtx& ctx) {
       s.on_receipt(receipt, std::span<const std::byte>(s.payload));
     }
     if (!receipt.dropped && !receipt.corrupted) {
-      deliver(s.dst, ctx.rank_, receipt.arrival, std::move(s.payload));
+      deliver(s.dst, ctx.rank_, receipt.arrival, s.records,
+              std::move(s.payload));
     }
   }
   ctx.sends_.clear();

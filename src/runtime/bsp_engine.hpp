@@ -36,6 +36,10 @@ namespace pmc {
 struct BspMessage {
   Rank src = kNoRank;
   double arrival = 0.0;
+  /// Algorithm-level record count carried by the frame. Receive-side work
+  /// charges scale with this, not with payload.size(): encoded bytes vary
+  /// with the wire codec, while the records a rank must apply do not.
+  std::int64_t records = 0;
   std::vector<std::byte> payload;
 };
 
@@ -81,6 +85,11 @@ class BspEngine {
   /// Delivers messages to r whose arrival time has passed r's clock.
   [[nodiscard]] std::vector<BspMessage> poll(Rank r);
 
+  /// Latest modelled arrival among all pending (undelivered) messages, or
+  /// 0.0 with nothing in flight. O(P): inboxes are sorted by arrival, so
+  /// each contributes its back() in O(1) — no per-message rescans.
+  [[nodiscard]] double pending_horizon() const;
+
   /// Global synchronization: every rank's clock advances to the maximum of
   /// all clocks and all in-flight arrivals, plus the collective cost.
   void barrier();
@@ -122,9 +131,14 @@ class BspEngine {
     void send(Rank dst, std::vector<std::byte> payload, std::int64_t records,
               ReceiptFn on_receipt);
 
-    /// Deliver messages already arrived at this rank's clock. Reads other
-    /// ranks' same-superstep sends, so it is only available under direct
-    /// execution (run_ranks asserts the phase was declared sequential).
+    /// Deliver messages already arrived at this rank's clock — the
+    /// asynchronous-superstep receive. Only available inside
+    /// run_ranks_snapshot() phases, at most once per callback, and before
+    /// any charge or send: the result is resolved at the rank's
+    /// superstep-entry clock (under deferred execution from a pre-harvested
+    /// snapshot; under the sequential fallback from a live poll), and a
+    /// later poll at an advanced clock could observe arrivals the snapshot
+    /// rule cannot reproduce.
     [[nodiscard]] std::vector<BspMessage> poll();
 
     /// Deliver all pending messages (call in a phase that follows a
@@ -147,8 +161,13 @@ class BspEngine {
     BspEngine* engine_ = nullptr;
     Rank rank_ = kNoRank;
     bool deferred_ = false;
+    bool poll_allowed_ = false;  ///< Set only by run_ranks_snapshot().
+    bool polled_ = false;        ///< poll() is one-shot per callback.
+    bool dirty_ = false;         ///< Any charge/send forbids a later poll().
     CommFabric::Lane lane_;            // deferred execution only
     std::vector<DeferredSend> sends_;  // deferred execution only
+    /// Pre-harvested poll() result (deferred snapshot execution only).
+    std::vector<BspMessage> snapshot_;
   };
 
   /// Runs body(ctx) once for every rank. `allow_parallel` declares the phase
@@ -156,9 +175,43 @@ class BspEngine {
   /// drains, conflict detection): only then — and only with a threaded
   /// backend — do the callbacks run concurrently, each against a deferred
   /// RankCtx, merged in rank order afterwards. Phases that poll() mid-
-  /// superstep must pass allow_parallel = false and run sequentially.
+  /// superstep must use run_ranks_snapshot() instead.
   void run_ranks(bool allow_parallel,
                  const std::function<void(RankCtx&)>& body);
+
+  /// Runs an asynchronous superstep — a phase whose callbacks may call
+  /// ctx.poll() once, up front — once for every rank, parallelizing when a
+  /// clock-only safety check proves the parallel schedule byte-identical to
+  /// the historical rank-ordered sequential one.
+  ///
+  /// Under sequential execution rank r's poll sees (a) pre-existing inbox
+  /// messages with arrival <= clock_r and (b) same-superstep sends from
+  /// ranks s < r that already arrived. The harvest pass can resolve (a)
+  /// before compute runs; (b) is empty whenever every rank's entry clock
+  /// lies strictly below a floating-point lower bound on the earliest
+  /// message any earlier rank could emit this superstep
+  /// ((clock_s + send_overhead) + message_seconds(0), evaluated in the send
+  /// path's own op order — every later step only adds nonnegative cost,
+  /// takes a max, or rounds a monotone op). When that holds for all ranks,
+  /// poll() results are pre-harvested into per-rank snapshots and the
+  /// callbacks run deferred (concurrently under a threaded backend), merged
+  /// in rank order like run_ranks(true, ...); otherwise the phase falls
+  /// back to direct sequential execution with live polls. The check reads
+  /// only rank clocks, so every thread count takes the same branch — see
+  /// DESIGN.md §5c ("Snapshot-harvested asynchronous supersteps").
+  void run_ranks_snapshot(const std::function<void(RankCtx&)>& body);
+
+  /// How many run_ranks_snapshot() phases passed the safety check and ran
+  /// deferred (parallel-capable), and how many fell back to direct
+  /// sequential execution. Pure functions of the rank clocks, so both are
+  /// identical at every thread count — tests use them to assert the
+  /// parallel path was really exercised.
+  [[nodiscard]] std::int64_t snapshot_parallel_phases() const noexcept {
+    return snapshot_parallel_phases_;
+  }
+  [[nodiscard]] std::int64_t snapshot_fallback_phases() const noexcept {
+    return snapshot_fallback_phases_;
+  }
 
   [[nodiscard]] const ExecutionBackend& backend() const noexcept {
     return backend_;
@@ -187,8 +240,12 @@ class BspEngine {
 
  private:
   /// Inserts an already-priced message into dst's inbox (sorted by arrival).
-  void deliver(Rank dst, Rank src, double arrival,
+  void deliver(Rank dst, Rank src, double arrival, std::int64_t records,
                std::vector<std::byte> payload);
+  /// Whether every rank's clock sits strictly below the floating-point
+  /// lower bound on any same-superstep arrival from an earlier rank (the
+  /// run_ranks_snapshot() safety condition).
+  [[nodiscard]] bool snapshot_parallel_safe() const;
   /// Garbles the delivered copy of a corrupted message, verifies the frame
   /// checksum rejects it, and counts the detection at dst. The frame never
   /// reaches the inbox; the sender's receipt drives the algorithm's repair.
@@ -201,6 +258,8 @@ class BspEngine {
   ExecutionBackend backend_;
   /// Pending (undelivered) messages per destination, FIFO by arrival.
   std::vector<std::deque<BspMessage>> inboxes_;
+  std::int64_t snapshot_parallel_phases_ = 0;
+  std::int64_t snapshot_fallback_phases_ = 0;
 };
 
 }  // namespace pmc

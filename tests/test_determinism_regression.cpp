@@ -20,6 +20,14 @@
 // schedule (and therefore modelled times, and under faults the
 // seq-number-derived verdicts) moves. Unbundled (eager) scenarios are
 // untouched by construction.
+//
+// The snapshot-harvest async supersteps (run_ranks_snapshot) and the
+// records-based receive charge did NOT move these pins: the snapshot path
+// reproduces sequential poll visibility exactly (DESIGN.md §5d), and every
+// pre-existing pinned scenario colors interior vertices first with large
+// supersteps, so its mid-superstep polls deliver nothing and the receive
+// charge never fires. SnapshotAsyncColoringScenarios below pins a
+// small-superstep boundary-first schedule where polls do deliver.
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -215,6 +223,43 @@ TEST(DeterminismRegression, Distance2ColoringScenario) {
                 {0.00011569199999999996, 25, 1410, 206, 6, 3});
 }
 
+// Pins for the snapshot-harvest asynchronous supersteps where mid-round
+// polls really deliver messages: boundary-first ordering sends boundary
+// colors in the earliest supersteps and 16-vertex supersteps (~1.6us) are
+// shorter than the modelled latency (3.5us), so announcements land two to
+// three supersteps later — mid-round, before the round-end drain. The
+// schedule exercises both run_ranks_snapshot branches: the superstep after
+// every allreduce starts from equalized clocks (always safe, parallel) and
+// later supersteps diverge (sequential live-poll fallback).
+TEST(DeterminismRegression, SnapshotAsyncColoringScenarios) {
+  const Graph g = circuit_like(2000, 4000, 6, WeightKind::kUnit, 62);
+  const Partition p =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(3));
+  const DistGraph dist = DistGraph::build(g, p);
+
+  auto opt = DistColoringOptions::improved();
+  opt.superstep_size = 16;
+  opt.local_order = LocalOrder::kBoundaryFirst;
+  const auto r = color_distributed(dist, opt);
+  expect_pinned(r.run, r.rounds,
+                {0.00013699520000000023, 122, 5738, 416, 6, 3});
+  EXPECT_GT(r.snapshot_parallel_supersteps, 0);
+  EXPECT_GT(r.snapshot_fallback_supersteps, 0);
+  EXPECT_EQ(r.snapshot_parallel_supersteps + r.snapshot_fallback_supersteps,
+            r.total_supersteps);
+
+  auto faulty = opt;
+  faulty.faults.drop_rate = 0.05;
+  faulty.faults.duplicate_rate = 0.02;
+  faulty.faults.seed = 14;
+  const auto rf = color_distributed(dist, faulty);
+  expect_pinned(rf.run, rf.rounds,
+                {0.00013696060000000025, 124, 5829, 421, 6, 3});
+  expect_pinned_faults(rf.run, {4, 2, 0, 0.0});
+  EXPECT_EQ(rf.fault_reentries, 6);
+  EXPECT_GT(rf.snapshot_fallback_supersteps, 0);
+}
+
 // Pins for the two verifier boundary exchanges fixed by the D1 lint
 // migration: their phase-1 sends used to walk an unordered_map in bucket
 // order, so the message sequence depended on the standard library's hash
@@ -292,19 +337,31 @@ TEST(ThreadInvariance, DistributedColoringScenarios) {
       multilevel_partition(g, 8, MultilevelConfig::metis_like(3));
   const DistGraph dist = DistGraph::build(g, p);
 
-  // Async supersteps (the presets' default) fall back to sequential compute;
-  // sync supersteps exercise the real deferred-lane merge. Both must be
-  // invariant, with and without faults.
-  DistColoringOptions scenarios[4] = {
+  // Async supersteps (the presets' default) run through the snapshot
+  // harvest — deferred (parallel-capable) when the clock safety check
+  // passes, live-poll sequential fallback when it does not; sync supersteps
+  // exercise the unconditional deferred-lane merge. All must be invariant,
+  // with and without faults. Scenarios [4] and [5] color boundary vertices
+  // first with 16-vertex supersteps so mid-round polls really deliver
+  // messages and both snapshot branches run.
+  DistColoringOptions scenarios[6] = {
       DistColoringOptions::improved(), DistColoringOptions::improved(),
-      DistColoringOptions::fiab(), DistColoringOptions::fiac()};
+      DistColoringOptions::fiab(),     DistColoringOptions::fiac(),
+      DistColoringOptions::improved(), DistColoringOptions::improved()};
   scenarios[1].superstep_mode = SuperstepMode::kSync;
   scenarios[1].faults.drop_rate = 0.05;
   scenarios[1].faults.duplicate_rate = 0.02;
   scenarios[1].faults.seed = 14;
-  scenarios[2].superstep_mode = SuperstepMode::kSync;
   scenarios[3].superstep_mode = SuperstepMode::kSync;
+  scenarios[4].superstep_size = 16;
+  scenarios[4].local_order = LocalOrder::kBoundaryFirst;
+  scenarios[5].superstep_size = 16;
+  scenarios[5].local_order = LocalOrder::kBoundaryFirst;
+  scenarios[5].faults.drop_rate = 0.05;
+  scenarios[5].faults.duplicate_rate = 0.02;
+  scenarios[5].faults.seed = 14;
 
+  int scenario = 0;
   for (auto& opt : scenarios) {
     std::string base;
     std::vector<Color> base_color;
@@ -313,16 +370,30 @@ TEST(ThreadInvariance, DistributedColoringScenarios) {
       const auto r = color_distributed(dist, opt);
       std::ostringstream os;
       os << fingerprint(r.run, r.rounds) << '#' << r.total_supersteps << '#'
-         << r.fault_reentries;
+         << r.fault_reentries << '#' << r.snapshot_parallel_supersteps << '#'
+         << r.snapshot_fallback_supersteps;
       for (const EdgeId c : r.conflicts_per_round) os << ',' << c;
+      if (opt.superstep_mode == SuperstepMode::kAsync) {
+        // The safety decision is a pure function of the modelled clocks, so
+        // the async path must really parallelize — at every thread count.
+        EXPECT_GT(r.snapshot_parallel_supersteps, 0)
+            << "threads=" << threads << " scenario=" << scenario;
+      }
+      if (scenario >= 4) {
+        EXPECT_GT(r.snapshot_fallback_supersteps, 0)
+            << "threads=" << threads << " scenario=" << scenario;
+      }
       if (threads == 1) {
         base = os.str();
         base_color = r.coloring.color;
       } else {
-        EXPECT_EQ(os.str(), base) << "threads=" << threads;
-        EXPECT_EQ(r.coloring.color, base_color) << "threads=" << threads;
+        EXPECT_EQ(os.str(), base)
+            << "threads=" << threads << " scenario=" << scenario;
+        EXPECT_EQ(r.coloring.color, base_color)
+            << "threads=" << threads << " scenario=" << scenario;
       }
     }
+    ++scenario;
   }
 }
 
@@ -330,13 +401,23 @@ TEST(ThreadInvariance, Distance2Scenarios) {
   const Graph g = grid_2d(20, 20, WeightKind::kUnit, 63);
   const Partition p = grid_2d_partition(20, 20, 2, 2);
 
-  DistColoringOptions scenarios[2];
+  // Sync supersteps, async defaults, and async with 16-vertex supersteps
+  // (multiple supersteps per round, so mid-round polls deliver and the
+  // snapshot harvest exercises both its branches) — with and without
+  // faults.
+  DistColoringOptions scenarios[4];
   scenarios[0].superstep_mode = SuperstepMode::kSync;
   scenarios[1].superstep_mode = SuperstepMode::kSync;
   scenarios[1].faults.drop_rate = 0.20;
   scenarios[1].faults.duplicate_rate = 0.10;
   scenarios[1].faults.seed = 15;
+  scenarios[2].superstep_size = 16;
+  scenarios[3].superstep_size = 16;
+  scenarios[3].faults.drop_rate = 0.20;
+  scenarios[3].faults.duplicate_rate = 0.10;
+  scenarios[3].faults.seed = 15;
 
+  int scenario = 0;
   for (auto& opt : scenarios) {
     std::string base;
     std::vector<Color> base_color;
@@ -344,15 +425,26 @@ TEST(ThreadInvariance, Distance2Scenarios) {
       opt.exec.threads = threads;
       const auto r = color_distance2_distributed_native(g, p, opt);
       std::ostringstream os;
-      os << fingerprint(r.run, r.rounds) << '#' << r.fault_reentries;
+      os << fingerprint(r.run, r.rounds) << '#' << r.fault_reentries << '#'
+         << r.snapshot_parallel_supersteps << '#'
+         << r.snapshot_fallback_supersteps;
+      if (scenario >= 2) {
+        EXPECT_GT(r.snapshot_parallel_supersteps, 0)
+            << "threads=" << threads << " scenario=" << scenario;
+        EXPECT_GT(r.snapshot_fallback_supersteps, 0)
+            << "threads=" << threads << " scenario=" << scenario;
+      }
       if (threads == 1) {
         base = os.str();
         base_color = r.coloring.color;
       } else {
-        EXPECT_EQ(os.str(), base) << "threads=" << threads;
-        EXPECT_EQ(r.coloring.color, base_color) << "threads=" << threads;
+        EXPECT_EQ(os.str(), base)
+            << "threads=" << threads << " scenario=" << scenario;
+        EXPECT_EQ(r.coloring.color, base_color)
+            << "threads=" << threads << " scenario=" << scenario;
       }
     }
+    ++scenario;
   }
 }
 
@@ -468,6 +560,124 @@ TEST(ThreadInvariance, AsyncMatchingTraceIsByteIdentical) {
     }
     ++scenario;
   }
+}
+
+TEST(ThreadInvariance, AsyncColoringTraceIsByteIdentical) {
+  // Snapshot-harvested async supersteps must reproduce the sequential JSONL
+  // trace to the byte at every thread count — send sequencing, fault
+  // verdicts, work-phase attribution and all — in a schedule where
+  // mid-round polls deliver messages and both snapshot branches run.
+  const Graph g = circuit_like(2000, 4000, 6, WeightKind::kUnit, 62);
+  const Partition p =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(3));
+  const DistGraph dist = DistGraph::build(g, p);
+
+  DistColoringOptions scenarios[2] = {DistColoringOptions::improved(),
+                                      DistColoringOptions::improved()};
+  for (auto& opt : scenarios) {
+    opt.superstep_size = 16;
+    opt.local_order = LocalOrder::kBoundaryFirst;
+  }
+  scenarios[1].faults.drop_rate = 0.05;
+  scenarios[1].faults.duplicate_rate = 0.02;
+  scenarios[1].faults.seed = 14;
+
+  int scenario = 0;
+  for (auto& opt : scenarios) {
+    std::string base_trace;
+    std::string base_fp;
+    for (const int threads : kThreadSweep) {
+      const std::string path = testing::TempDir() + "pmc_async_color_trace_" +
+                               std::to_string(scenario) + "_" +
+                               std::to_string(threads) + ".jsonl";
+      opt.trace.jsonl_path = path;
+      opt.exec.threads = threads;
+      const auto r = color_distributed(dist, opt);
+      EXPECT_GT(r.snapshot_parallel_supersteps, 0);
+      EXPECT_GT(r.snapshot_fallback_supersteps, 0);
+      const std::string fp = fingerprint(r.run, r.rounds);
+      std::ifstream in(path, std::ios::binary);
+      ASSERT_TRUE(in.good());
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      ASSERT_FALSE(contents.str().empty());
+      if (threads == 1) {
+        base_trace = contents.str();
+        base_fp = fp;
+      } else {
+        EXPECT_EQ(contents.str(), base_trace)
+            << "threads=" << threads << " scenario=" << scenario;
+        EXPECT_EQ(fp, base_fp)
+            << "threads=" << threads << " scenario=" << scenario;
+      }
+    }
+    ++scenario;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec invariance of modelled *work*: the wire codec changes how many bytes
+// cross the fabric (and therefore transfer times), but never which records a
+// rank applies — so the charged-compute side of a run must not move between
+// the fixed and compact codecs. The async receive charge used to be
+// payload.size()/12, which silently tied modelled compute to the encoding.
+
+void expect_same_work(const DistColoringResult& a,
+                      const DistColoringResult& b) {
+  // Exact per-rank vectors, not totals: a compensating error (one rank
+  // overcharged, another undercharged) must not pass.
+  // (load_stats is deliberately not compared: it accumulates interior and
+  // boundary charges into one per-rank total in execution order, and the
+  // codec's different transfer times can shift *when* a receive charge
+  // lands between coloring charges — same values, different floating-point
+  // summation order in the combined accumulator. The per-phase breakdown
+  // vectors are the codec-invariance contract.)
+  EXPECT_EQ(a.run.breakdown.interior_seconds, b.run.breakdown.interior_seconds);
+  EXPECT_EQ(a.run.breakdown.boundary_seconds, b.run.breakdown.boundary_seconds);
+  EXPECT_EQ(a.run.breakdown.other_seconds, b.run.breakdown.other_seconds);
+  EXPECT_EQ(a.coloring.color, b.coloring.color);
+  EXPECT_EQ(a.run.comm.records, b.run.comm.records);
+  // The codecs must still genuinely differ on the wire for the comparison
+  // to mean anything.
+  EXPECT_NE(a.run.comm.bytes, b.run.comm.bytes);
+}
+
+TEST(DeterminismRegression, ReceiveChargesAreCodecInvariant) {
+  const Graph g = circuit_like(2000, 4000, 6, WeightKind::kUnit, 62);
+  const Partition p =
+      multilevel_partition(g, 8, MultilevelConfig::metis_like(3));
+  const DistGraph dist = DistGraph::build(g, p);
+
+  // Async, boundary-first, 16-vertex supersteps: mid-round polls deliver
+  // messages, so the records-based receive charge really fires.
+  auto opt = DistColoringOptions::improved();
+  opt.superstep_size = 16;
+  opt.local_order = LocalOrder::kBoundaryFirst;
+  auto fixed = opt;
+  fixed.codec = WireCodec::kFixed;
+  const auto rc = color_distributed(dist, opt);
+  const auto rf = color_distributed(dist, fixed);
+  EXPECT_GT(rc.snapshot_fallback_supersteps, 0);
+  expect_same_work(rc, rf);
+
+  auto faulty = opt;
+  faulty.faults.drop_rate = 0.05;
+  faulty.faults.duplicate_rate = 0.02;
+  faulty.faults.seed = 14;
+  auto faulty_fixed = faulty;
+  faulty_fixed.codec = WireCodec::kFixed;
+  expect_same_work(color_distributed(dist, faulty),
+                   color_distributed(dist, faulty_fixed));
+
+  // Distance-2 exercises its own poll loop.
+  const Graph g2 = grid_2d(20, 20, WeightKind::kUnit, 63);
+  const Partition p2 = grid_2d_partition(20, 20, 2, 2);
+  DistColoringOptions d2;
+  d2.superstep_size = 16;
+  auto d2_fixed = d2;
+  d2_fixed.codec = WireCodec::kFixed;
+  expect_same_work(color_distance2_distributed_native(g2, p2, d2),
+                   color_distance2_distributed_native(g2, p2, d2_fixed));
 }
 
 }  // namespace

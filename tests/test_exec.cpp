@@ -3,6 +3,7 @@
 // guarantee (the runtime/exec design invariant).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -244,6 +245,96 @@ TEST(ExecEquivalence, BspDeferredPhasesMatchSequential) {
     const auto run = run_bsp_scenario(threads, &drops);
     EXPECT_EQ(fabric_fingerprint(run), base) << "threads=" << threads;
     EXPECT_EQ(drops, drops1) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-superstep equivalence: asynchronous phases (mid-superstep polls)
+// must reproduce the sequential schedule exactly whether the clock safety
+// check admits the deferred parallel path or forces the live-poll fallback.
+
+struct SnapshotProbe {
+  RunResult run;
+  std::int64_t polled_records = 0;
+  std::int64_t drops = 0;
+  std::int64_t parallel_phases = 0;
+  std::int64_t fallback_phases = 0;
+};
+
+SnapshotProbe run_bsp_snapshot_scenario(int threads) {
+  constexpr Rank kRanks = 6;
+  FabricConfig config;
+  config.jitter_seconds = 1e-6;
+  config.jitter_seed = 5;
+  config.fault.drop_rate = 0.2;
+  config.fault.duplicate_rate = 0.1;
+  config.fault.seed = 9;
+  BspEngine engine(kRanks, MachineModel::blue_gene_p(), config,
+                   ExecConfig{threads});
+  SnapshotProbe probe;
+  // Per-rank so the deferred bodies (which run on the pool) never share a
+  // counter; receipt callbacks replay sequentially, so `drops` is safe as-is.
+  std::array<std::int64_t, kRanks> polled{};
+  for (int round = 0; round < 3; ++round) {
+    engine.fabric().set_round_all(round);
+    for (int step = 0; step < 4; ++step) {
+      engine.run_ranks_snapshot([&](BspEngine::RankCtx& ctx) {
+        const Rank r = ctx.rank();
+        // Poll first (the snapshot contract), charging per record.
+        for (const BspMessage& msg : ctx.poll()) {
+          polled[static_cast<std::size_t>(r)] += msg.records;
+          ctx.charge(static_cast<double>(msg.records), WorkPhase::kBoundary);
+        }
+        // Rank-skewed compute: clocks diverge within the round, so later
+        // supersteps trip the safety check and take the fallback, while the
+        // superstep right after each allreduce starts from equal clocks and
+        // runs deferred.
+        ctx.charge(40.0 * static_cast<double>(r + 1), WorkPhase::kInterior);
+        for (Rank hop = 1; hop <= 2; ++hop) {
+          std::vector<std::byte> payload(static_cast<std::size_t>(8 + r));
+          ctx.send((r + hop) % kRanks, std::move(payload), /*records=*/2,
+                   [&probe](const CommFabric::SendReceipt& receipt,
+                            std::span<const std::byte>) {
+                     if (receipt.dropped) ++probe.drops;
+                   });
+        }
+      });
+    }
+    // Round boundary: collect stragglers and re-equalize the clocks.
+    engine.barrier();
+    engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+      for (const BspMessage& msg : ctx.drain()) {
+        ctx.charge(static_cast<double>(msg.records), WorkPhase::kBoundary);
+      }
+    });
+    engine.allreduce();
+  }
+  engine.fabric().export_into(probe.run);
+  for (const std::int64_t records : polled) probe.polled_records += records;
+  probe.parallel_phases = engine.snapshot_parallel_phases();
+  probe.fallback_phases = engine.snapshot_fallback_phases();
+  return probe;
+}
+
+TEST(ExecEquivalence, SnapshotSuperstepsMatchSequential) {
+  const SnapshotProbe base = run_bsp_snapshot_scenario(1);
+  // The scenario must really exercise everything: mid-superstep deliveries,
+  // fault verdicts, and both branches of the safety check.
+  EXPECT_GT(base.polled_records, 0);
+  EXPECT_GT(base.drops, 0);
+  EXPECT_GT(base.parallel_phases, 0);
+  EXPECT_GT(base.fallback_phases, 0);
+  const std::string base_fp = fabric_fingerprint(base.run);
+  for (const int threads : {2, 3, 8}) {
+    const SnapshotProbe probe = run_bsp_snapshot_scenario(threads);
+    EXPECT_EQ(fabric_fingerprint(probe.run), base_fp) << "threads=" << threads;
+    EXPECT_EQ(probe.polled_records, base.polled_records)
+        << "threads=" << threads;
+    EXPECT_EQ(probe.drops, base.drops) << "threads=" << threads;
+    EXPECT_EQ(probe.parallel_phases, base.parallel_phases)
+        << "threads=" << threads;
+    EXPECT_EQ(probe.fallback_phases, base.fallback_phases)
+        << "threads=" << threads;
   }
 }
 

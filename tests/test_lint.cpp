@@ -1,5 +1,5 @@
 // Fixture suite for pmc-lint (tools/pmc-lint): every determinism rule
-// D1–D6 must both fire on its violation fixture and stay silent on the
+// D1–D7 must both fire on its violation fixture and stay silent on the
 // conforming one, the allow() suppression path must work (and demand a
 // justification), and the path-based rule scoping must carve out the
 // sanctioned homes (rng/timer for entropy, serialize for raw bytes).
@@ -154,6 +154,49 @@ TEST(LintD6, SuppressionNeedsAJustification) {
   EXPECT_FALSE(d6[1].suppressed);
 }
 
+// ---- D7: raw mid-superstep poll in BSP driver code --------------------------
+
+TEST(LintD7, FiresOnRawPollInSuperstepBody) {
+  const auto d7 = with_rule(lint_fixture("d7_violation.cpp"), "D7");
+  ASSERT_EQ(d7.size(), 1u);
+  EXPECT_FALSE(d7[0].suppressed);
+  EXPECT_EQ(d7[0].line, 23);
+  EXPECT_NE(d7[0].message.find("RankCtx::poll()"), std::string::npos);
+}
+
+TEST(LintD7, SilentOnSnapshotGatedPollAndDrain) {
+  // ctx.poll() with no arguments is the sanctioned harvest; drain() is a
+  // barrier-phase API and out of D7's sights entirely.
+  EXPECT_TRUE(with_rule(lint_fixture("d7_clean.cpp"), "D7").empty());
+}
+
+TEST(LintD7, SilentWhenTheFileNeverMentionsRankCtx) {
+  // Non-driver code (the event engine, the fabric) may own member poll()
+  // calls: the content gate keeps files with no RankCtx involvement out of
+  // scope even when the path predicate matches.
+  std::ifstream in(fixture("d7_violation.cpp"), std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string::size_type pos;
+  while ((pos = text.find("RankCtx")) != std::string::npos) {
+    text.replace(pos, std::strlen("RankCtx"), "SlotCtx");
+  }
+  const auto diags =
+      pmc_lint::analyze_source("src/coloring/x.cpp", text,
+                               pmc_lint::scope_for_path("src/coloring/x.cpp"));
+  EXPECT_TRUE(with_rule(diags, "D7").empty());
+}
+
+TEST(LintD7, SuppressionNeedsAJustification) {
+  const auto d7 = with_rule(lint_fixture("d7_suppressed.cpp"), "D7");
+  ASSERT_EQ(d7.size(), 2u);
+  EXPECT_TRUE(d7[0].suppressed);
+  EXPECT_EQ(d7[0].justification,
+            "sequential-only diagnostics dump, never parallel");
+  EXPECT_FALSE(d7[1].suppressed);
+}
+
 // ---- rule scoping ----------------------------------------------------------
 
 TEST(LintScope, SanctionedHomesAreExempt) {
@@ -188,6 +231,17 @@ TEST(LintScope, D6BindsToTheEventPath) {
   // The BSP engine and the fabric itself legitimately own post_send.
   EXPECT_FALSE(pmc_lint::scope_for_path("src/runtime/bsp_engine.cpp").d6);
   EXPECT_FALSE(pmc_lint::scope_for_path("src/runtime/fabric.cpp").d6);
+}
+
+TEST(LintScope, D7BindsToBspDriverCodeButNotTheEngine) {
+  EXPECT_TRUE(pmc_lint::scope_for_path("src/coloring/parallel.cpp").d7);
+  EXPECT_TRUE(pmc_lint::scope_for_path("src/matching/parallel.cpp").d7);
+  EXPECT_TRUE(pmc_lint::scope_for_path("src/runtime/event_engine.cpp").d7);
+  // The engine's own files implement the snapshot harvest — they own the
+  // raw inbox read.
+  EXPECT_FALSE(pmc_lint::scope_for_path("src/runtime/bsp_engine.cpp").d7);
+  EXPECT_FALSE(pmc_lint::scope_for_path("src/runtime/bsp_engine.hpp").d7);
+  EXPECT_FALSE(pmc_lint::scope_for_path("src/graph/algorithms.cpp").d7);
 }
 
 TEST(LintScope, PathScopingChangesTheFindings) {

@@ -360,5 +360,132 @@ TEST(BspEngine, RejectsInvalidSends) {
   EXPECT_THROW(engine.send(0, 5, {}, 0), Error);
 }
 
+TEST(BspEngine, MessagesCarryRecordCounts) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  engine.send(0, 1, std::vector<std::byte>(10), 3);
+  engine.send(0, 1, std::vector<std::byte>(20), 7);
+  engine.barrier();
+  const auto msgs = engine.drain(1);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].records, 3);
+  EXPECT_EQ(msgs[1].records, 7);
+}
+
+TEST(BspEngine, PendingHorizonMatchesBruteForceScan) {
+  // Jitter makes arrivals land out of send order across channels, so the
+  // incremental horizon (per-inbox back() of the sorted deques) is only
+  // right if the sorted-insert invariant really holds.
+  BspEngine engine(4, MachineModel::blue_gene_p(),
+                   FabricConfig{2e-6, 9, FaultConfig{}, TraceConfig{}});
+  for (int i = 0; i < 6; ++i) {
+    engine.charge(i % 4, 50.0 * (i + 1));
+    engine.send(i % 4, (i + 1) % 4, std::vector<std::byte>(17 * (i + 1)), 1);
+    engine.send((i + 2) % 4, (i + 3) % 4, std::vector<std::byte>(5), 1);
+  }
+  const double horizon = engine.pending_horizon();
+  double brute = 0.0;
+  for (Rank r = 0; r < 4; ++r) {
+    for (const BspMessage& msg : engine.drain(r)) {
+      brute = std::max(brute, msg.arrival);
+    }
+  }
+  EXPECT_GT(brute, 0.0);
+  EXPECT_EQ(horizon, brute);
+  EXPECT_EQ(engine.pending_horizon(), 0.0);
+}
+
+TEST(BspEngine, BarrierUsesThePendingHorizon) {
+  BspEngine engine(3, MachineModel::blue_gene_p());
+  engine.charge(0, 1000.0);
+  engine.send(0, 2, std::vector<std::byte>(100), 1);
+  engine.send(1, 2, std::vector<std::byte>(8), 1);
+  const double expected =
+      std::max(engine.time(), engine.pending_horizon()) +
+      engine.model().collective_seconds(3);
+  engine.barrier();
+  EXPECT_EQ(engine.now(0), expected);
+  EXPECT_EQ(engine.now(2), expected);
+}
+
+TEST(BspEngine, PollRequiresASnapshotPhase) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  // Mid-superstep polling outside run_ranks_snapshot() is a contract
+  // violation in both run_ranks flavors.
+  EXPECT_THROW(engine.run_ranks(
+                   false, [](BspEngine::RankCtx& ctx) { (void)ctx.poll(); }),
+               Error);
+  EXPECT_THROW(engine.run_ranks(
+                   true, [](BspEngine::RankCtx& ctx) { (void)ctx.poll(); }),
+               Error);
+}
+
+TEST(BspEngine, SnapshotPollIsOneShotAndBeforeWork) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  EXPECT_THROW(engine.run_ranks_snapshot([](BspEngine::RankCtx& ctx) {
+    (void)ctx.poll();
+    (void)ctx.poll();  // at most once per callback
+  }),
+               Error);
+  EXPECT_THROW(engine.run_ranks_snapshot([](BspEngine::RankCtx& ctx) {
+    ctx.charge(1.0);
+    (void)ctx.poll();  // must precede any charge or send
+  }),
+               Error);
+}
+
+TEST(BspEngine, SnapshotPhaseDeliversArrivedMessages) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  engine.send(0, 1, std::vector<std::byte>(16), 2);
+  engine.barrier();  // equal clocks past the arrival; inbox still pending
+  std::size_t seen = 0;
+  std::int64_t records = 0;
+  engine.run_ranks_snapshot([&](BspEngine::RankCtx& ctx) {
+    for (const BspMessage& msg : ctx.poll()) {
+      ++seen;
+      records += msg.records;
+    }
+  });
+  // Equalized clocks always pass the safety check, so this ran deferred.
+  EXPECT_EQ(engine.snapshot_parallel_phases(), 1);
+  EXPECT_EQ(engine.snapshot_fallback_phases(), 0);
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(records, 2);
+  EXPECT_TRUE(engine.drain(1).empty());
+}
+
+TEST(BspEngine, SnapshotPhaseRestoresUnconsumedMessages) {
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  engine.send(0, 1, std::vector<std::byte>(16), 2);
+  engine.barrier();
+  // The harvest pass pre-polls rank 1's inbox, but the callback never asks
+  // for it — the message must go back to pending, not be lost.
+  engine.run_ranks_snapshot([](BspEngine::RankCtx& ctx) { ctx.charge(1.0); });
+  EXPECT_EQ(engine.snapshot_parallel_phases(), 1);
+  const auto msgs = engine.drain(1);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].records, 2);
+}
+
+TEST(BspEngine, SnapshotFallbackSeesSameSuperstepSends) {
+  // Rank 1's clock is far ahead of rank 0's bound, so the safety check must
+  // refuse to parallelize — and the sequential fallback must preserve the
+  // historical semantics where rank 1's live poll sees rank 0's send from
+  // the *same* superstep.
+  BspEngine engine(2, MachineModel::blue_gene_p());
+  engine.charge(1, 1e6);
+  std::size_t rank1_saw = 0;
+  engine.run_ranks_snapshot([&](BspEngine::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      (void)ctx.poll();
+      ctx.send(1, std::vector<std::byte>(8), 1);
+    } else {
+      rank1_saw = ctx.poll().size();
+    }
+  });
+  EXPECT_EQ(engine.snapshot_parallel_phases(), 0);
+  EXPECT_EQ(engine.snapshot_fallback_phases(), 1);
+  EXPECT_EQ(rank1_saw, 1u);
+}
+
 }  // namespace
 }  // namespace pmc

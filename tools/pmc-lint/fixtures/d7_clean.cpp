@@ -1,0 +1,33 @@
+// Fixture: D7 must stay silent — superstep bodies harvesting arrivals
+// through the snapshot-gated RankCtx::poll() (no arguments), which the
+// engine resolves sequentially before compute fans out. Scan fodder for
+// the lint fixture suite, not compiled.
+#include <cstdint>
+#include <vector>
+
+using Rank = std::int32_t;
+
+struct BspMessage {
+  std::int64_t records;
+};
+
+struct RankCtx {
+  Rank rank;
+  std::vector<BspMessage> poll();
+  std::vector<BspMessage> drain();
+  void charge(double work_units);
+};
+
+void superstep(RankCtx& ctx) {
+  // The sanctioned harvest: empty argument list, snapshot semantics.
+  for (const BspMessage& msg : ctx.poll()) {
+    ctx.charge(static_cast<double>(msg.records));
+  }
+}
+
+void round_end(RankCtx& ctx) {
+  // drain() is a barrier-phase API and never in D7's sights.
+  for (const BspMessage& msg : ctx.drain()) {
+    ctx.charge(static_cast<double>(msg.records));
+  }
+}

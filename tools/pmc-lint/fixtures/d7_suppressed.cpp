@@ -1,0 +1,29 @@
+// Fixture: the D7 suppression path — a raw poll(rank) covered by a
+// justified allow() comment must be reported as suppressed, and an allow()
+// without a justification must not count. Scan fodder, not compiled.
+#include <cstdint>
+#include <vector>
+
+using Rank = std::int32_t;
+
+struct BspMessage {
+  std::int64_t records;
+};
+
+struct BspEngine {
+  std::vector<BspMessage> poll(Rank r);
+  struct RankCtx {
+    BspEngine* engine;
+    Rank rank;
+  };
+};
+
+void justified(BspEngine::RankCtx& ctx) {
+  // pmc-lint: allow(D7): sequential-only diagnostics dump, never parallel
+  (void)ctx.engine->poll(ctx.rank);
+}
+
+void unjustified(BspEngine::RankCtx& ctx) {
+  // pmc-lint: allow(D7)
+  (void)ctx.engine->poll(ctx.rank);
+}

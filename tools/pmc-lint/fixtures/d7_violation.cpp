@@ -1,0 +1,26 @@
+// Fixture: D7 must fire — a superstep body harvesting the live inbox with
+// BspEngine::poll(rank) instead of the snapshot-gated RankCtx::poll().
+// Scan fodder for the lint fixture suite, not compiled.
+#include <cstdint>
+#include <vector>
+
+using Rank = std::int32_t;
+
+struct BspMessage {
+  std::int64_t records;
+};
+
+struct BspEngine {
+  std::vector<BspMessage> poll(Rank r);
+  struct RankCtx {
+    BspEngine* engine;
+    Rank rank;
+  };
+};
+
+void superstep(BspEngine::RankCtx& ctx) {
+  // Reads live arrivals the snapshot pass never resolved.
+  for (const BspMessage& msg : ctx.engine->poll(ctx.rank)) {
+    (void)msg;
+  }
+}

@@ -222,10 +222,10 @@ class Analyzer {
   std::vector<Diagnostic> run() {
     collect_declared_vars();
     for (const Token& t : tokens_) {
-      if (t.is_ident && t.text == "EventContext") {
-        mentions_event_context_ = true;
-        break;
-      }
+      if (!t.is_ident) continue;
+      if (t.text == "EventContext") mentions_event_context_ = true;
+      if (t.text == "RankCtx") mentions_rank_ctx_ = true;
+      if (mentions_event_context_ && mentions_rank_ctx_) break;
     }
     check_banned_calls();
     check_range_loops();
@@ -354,6 +354,20 @@ class Analyzer {
                  "handler sends through EventContext::send (lane deferred "
                  "API) and engine sends through begin_send() + "
                  "post_send_at()");
+        }
+      }
+      if (scope_.d7 && mentions_rank_ctx_) {
+        // RankCtx::poll() takes no arguments, so the sanctioned snapshot
+        // harvest never matches; BspEngine::poll(rank) — the raw live-inbox
+        // read — always passes an argument. Requiring a member call keeps
+        // declarations and stub prototypes out of scope.
+        if (t.text == "poll" && tok(i + 1).text == "(" &&
+            tok(i + 2).text != ")" && member) {
+          report("D7", t.line,
+                 "raw mid-superstep poll(rank) in BSP driver code — the live "
+                 "inbox read cannot be replayed by the snapshot-harvest "
+                 "parallel path; harvest arrivals through RankCtx::poll() "
+                 "inside a run_ranks_snapshot phase");
         }
       }
       if (scope_.d3) {
@@ -518,9 +532,10 @@ class Analyzer {
   std::vector<Token> tokens_;
   std::unordered_set<std::string> unordered_vars_;
   std::unordered_set<std::string> float_vars_;
-  /// D6 content gate: the rule only polices files that actually touch the
-  /// event-dispatch API (declared handlers, the engine itself).
+  /// D6/D7 content gates: each rule only polices files that actually touch
+  /// its dispatch API (declared handlers, superstep bodies).
   bool mentions_event_context_ = false;
+  bool mentions_rank_ctx_ = false;
   std::vector<Diagnostic> diags_;
 };
 
@@ -556,11 +571,17 @@ RuleScope scope_for_path(const std::string& path) {
   scope.d6 = starts_with(p, "src/runtime/event_engine.") ||
              starts_with(p, "src/matching/") ||
              starts_with(p, "src/coloring/");
+  // The engine itself owns the raw inbox; everything that drives it must go
+  // through the snapshot-gated RankCtx::poll().
+  scope.d7 = (starts_with(p, "src/matching/") ||
+              starts_with(p, "src/coloring/") ||
+              starts_with(p, "src/runtime/")) &&
+             !starts_with(p, "src/runtime/bsp_engine.");
   return scope;
 }
 
 RuleScope all_rules() {
-  return RuleScope{true, true, true, true, true, true};
+  return RuleScope{true, true, true, true, true, true, true};
 }
 
 std::vector<Diagnostic> analyze_source(const std::string& path,

@@ -37,6 +37,14 @@
 //       begin_send() + post_send_at() on the merge path. Files that never
 //       mention EventContext (the BSP engine's direct superstep path) are
 //       out of scope.
+//   D7  no raw mid-superstep inbox harvest in BSP driver code (src/matching,
+//       src/coloring, src/runtime, excluding the engine itself): calling
+//       BspEngine::poll(rank) — any member poll() with arguments — from a
+//       superstep body reads the live inbox, which the snapshot-harvest
+//       parallel path cannot replay. Drivers must use RankCtx::poll() (no
+//       arguments) inside a run_ranks_snapshot phase, where the engine
+//       resolves deliveries sequentially before compute fans out. Files
+//       that never mention RankCtx are out of scope.
 #pragma once
 
 #include <string>
@@ -47,7 +55,7 @@ namespace pmc_lint {
 /// One finding. `suppressed` is true when a well-formed allow() comment with
 /// a justification covers the line.
 struct Diagnostic {
-  std::string rule;     ///< "D1".."D6".
+  std::string rule;     ///< "D1".."D7".
   std::string file;     ///< Path as given to analyze_file.
   int line = 0;         ///< 1-based.
   std::string message;  ///< Human-readable explanation.
@@ -63,6 +71,7 @@ struct RuleScope {
   bool d4 = true;   ///< Decoder hygiene applies everywhere.
   bool d5 = false;  ///< All of src/.
   bool d6 = false;  ///< Event-path code (event engine, matching, coloring).
+  bool d7 = false;  ///< BSP driver code (matching/coloring/runtime sans engine).
 };
 
 /// Scope for a path as the CI lint run uses it: `path` is normalized to the
