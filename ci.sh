@@ -30,6 +30,11 @@ tier1() {
   # Committed BENCH_*.json baselines must stay well-formed and keep each
   # workload's modelled time bit-identical across the thread sweep.
   ./tools/check_bench_artifacts.sh
+  # Perf-regression gate: regenerate the service-mode artifact (every batch
+  # self-verifies incremental == full recompute) and fail on a >10%
+  # modelled-time regression against the committed BENCH_service.json.
+  ./build/bench/bench_service --json=build/BENCH_service.json
+  ./tools/check_bench_artifacts.sh --compare-baseline build/BENCH_service.json
 }
 
 lint() {
@@ -74,6 +79,7 @@ asan() {
     test_matching_dist
     test_coloring_dist
     test_distance2
+    test_service
   )
   cmake --build build-asan -j "$JOBS" --target "${tests[@]}"
   local regex
@@ -98,6 +104,7 @@ tsan() {
     test_chaos
     test_wire_codec
     test_runtime_engines
+    test_service
   )
   cmake --build build-tsan -j "$JOBS" --target "${tests[@]}"
   local regex

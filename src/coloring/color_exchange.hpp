@@ -1,0 +1,51 @@
+// Shared pieces of the BSP coloring drivers: decoding boundary-color
+// frames, the fault-repair lost-announcement tracking (PR 2's re-entry
+// machinery), and the deterministic priority comparator. Factored out of
+// coloring/parallel.cpp so the service-mode incremental re-coloring reuses
+// the exact same wire handling and repair semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "coloring/coloring.hpp"
+#include "runtime/bsp_engine.hpp"
+#include "runtime/dist_graph.hpp"
+#include "support/types.hpp"
+
+namespace pmc {
+
+/// Applies one boundary-color message to `color` (indexed by local id).
+/// When `changed` is non-null, appends the local ids whose stored color
+/// actually changed — the incremental driver's re-check frontier.
+void apply_color_records(const LocalGraph& lg, std::vector<Color>& color,
+                         const BspMessage& msg,
+                         std::vector<VertexId>* changed = nullptr);
+
+/// Global ids whose color announcement was dropped or corrupted in flight,
+/// per sending rank; the repair phase resets and re-enters them.
+using LostColorSets = std::vector<std::unordered_set<VertexId>>;
+
+/// Send callable for color frames from `ctx`: forwards to ctx.send and,
+/// when faults are on, decodes the sender-side copy of every dropped or
+/// corrupted frame into lost[src]. Receipt callbacks fire on the main
+/// thread (immediately under direct execution, at the rank-ordered merge
+/// under deferred execution), so no locking is needed.
+[[nodiscard]] std::function<void(Rank, std::vector<std::byte>, std::int64_t)>
+lost_tracking_color_sender(LostColorSets& lost, bool faults_on,
+                           BspEngine::RankCtx& ctx);
+
+/// The deterministic total priority order shared by Jones–Plassmann and the
+/// speculative framework's conflict resolution: a beats b iff its
+/// (vertex_priority, global id) pair is larger. The conflict loser rule in
+/// coloring/parallel.cpp is exactly "the endpoint that does not win".
+[[nodiscard]] inline bool wins_priority(VertexId ga, VertexId gb,
+                                        std::uint64_t seed) {
+  const std::uint64_t pa = vertex_priority(ga, seed);
+  const std::uint64_t pb = vertex_priority(gb, seed);
+  return pa > pb || (pa == pb && ga > gb);
+}
+
+}  // namespace pmc

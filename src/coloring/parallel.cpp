@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_set>
 
+#include "coloring/color_exchange.hpp"
 #include "runtime/bsp_engine.hpp"
 #include "runtime/fabric.hpp"
 #include "runtime/serialize.hpp"
@@ -53,25 +53,6 @@ struct RankState {
   /// concurrent rank callbacks stay isolated.
   FanoutStage stage{0};
 };
-
-void apply_color_records(RankState& state, const BspMessage& msg) {
-  // FIAC sends (possibly empty) messages to every rank; an empty message
-  // carries no frame at all.
-  if (msg.payload.empty()) return;
-  FrameReader reader(msg.payload);
-  PMC_CHECK(reader.valid(), "undetected bad frame reached the coloring: "
-                                << reader.error());
-  for (std::int64_t i = 0; i < reader.records(); ++i) {
-    const VertexId global = reader.read_id();
-    const Color c = reader.read_color();
-    const VertexId local = state.lg->local_id(global);
-    // Broadcast modes deliver records for vertices this rank has never heard
-    // of; that waste is exactly what the customized modes eliminate.
-    if (local == kNoVertex) continue;
-    state.color[static_cast<std::size_t>(local)] = c;
-  }
-  PMC_CHECK(reader.done(), "trailing garbage after the last color record");
-}
 
 /// Colors one owned vertex first-fit (or per strategy) against the colors
 /// currently known; returns the number of arcs touched (work).
@@ -148,43 +129,9 @@ DistColoringResult color_distributed(const DistGraph& dist,
   const std::uint64_t seed = options.seed;
 
   // Global ids whose color announcement was dropped this round, per sending
-  // rank; the conflict phase resets and re-enters them. Receipt callbacks
-  // fire on the main thread (immediately under direct execution, at the
-  // rank-ordered merge under deferred execution), so no locking is needed.
-  std::vector<std::unordered_set<VertexId>> lost(static_cast<std::size_t>(P));
-  const auto send_from = [&lost, faults_on](BspEngine::RankCtx& ctx) {
-    return [&lost, faults_on, &ctx](Rank dst, std::vector<std::byte> payload,
-                                    std::int64_t records) {
-      if (!faults_on) {
-        ctx.send(dst, std::move(payload), records);
-        return;
-      }
-      const Rank src = ctx.rank();
-      ctx.send(dst, std::move(payload), records,
-               [&lost, src](const CommFabric::SendReceipt& receipt,
-                            std::span<const std::byte> bytes) {
-                 if (!receipt.dropped && !receipt.corrupted) return;
-                 if (bytes.empty()) return;
-                 // The receiver never sees these colors (lost outright, or
-                 // rejected by its checksum), so conflict detection there
-                 // cannot be symmetric; the sender re-enters the vertices
-                 // instead. The callback always gets the original bytes, so
-                 // decoding the kept copy is safe even for corrupted sends.
-                 FrameReader reader(bytes);
-                 PMC_CHECK(reader.valid(),
-                           "sender-side copy of a lost frame is invalid: "
-                               << reader.error());
-                 for (std::int64_t i = 0; i < reader.records(); ++i) {
-                   const VertexId global = reader.read_id();
-                   (void)reader.read_color();
-                   lost[static_cast<std::size_t>(src)].insert(global);
-                 }
-                 PMC_CHECK(reader.done(),
-                           "trailing garbage after the last lost-color "
-                           "record");
-               });
-    };
-  };
+  // rank; the conflict phase resets and re-enters them (PR 2's repair
+  // re-entry, shared with the incremental driver via color_exchange).
+  LostColorSets lost(static_cast<std::size_t>(P));
 
   while (true) {
     // ---- Tentative coloring phase -------------------------------------
@@ -210,7 +157,7 @@ DistColoringResult color_distributed(const DistGraph& dist,
         // is invariant under the wire codec.
         if (!sync_mode) {
           for (const BspMessage& msg : ctx.poll()) {
-            apply_color_records(st, msg);
+            apply_color_records(lg, st.color, msg);
             ctx.charge(static_cast<double>(msg.records), WorkPhase::kBoundary);
           }
         }
@@ -238,7 +185,8 @@ DistColoringResult color_distributed(const DistGraph& dist,
           }
         }
         // Send this superstep's boundary colors under the configured policy.
-        st.stage.flush(options.comm_mode, r, send_from(ctx));
+        st.stage.flush(options.comm_mode, r,
+                       lost_tracking_color_sender(lost, faults_on, ctx));
       };
       if (sync_mode) {
         engine.run_ranks(true, superstep);
@@ -247,22 +195,22 @@ DistColoringResult color_distributed(const DistGraph& dist,
       }
       ++result.total_supersteps;
       if (sync_mode) {
-        engine.barrier();
-        engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+        engine.exchange([&](BspEngine::RankCtx& ctx,
+                            std::vector<BspMessage> msgs) {
           RankState& st = states[static_cast<std::size_t>(ctx.rank())];
-          for (const BspMessage& msg : ctx.drain()) {
-            apply_color_records(st, msg);
+          for (const BspMessage& msg : msgs) {
+            apply_color_records(*st.lg, st.color, msg);
           }
         });
       }
     }
 
     // ---- "Wait until all incoming messages are received" ---------------
-    engine.barrier();
-    engine.run_ranks(true, [&](BspEngine::RankCtx& ctx) {
+    engine.exchange([&](BspEngine::RankCtx& ctx,
+                        std::vector<BspMessage> msgs) {
       RankState& st = states[static_cast<std::size_t>(ctx.rank())];
-      for (const BspMessage& msg : ctx.drain()) {
-        apply_color_records(st, msg);
+      for (const BspMessage& msg : msgs) {
+        apply_color_records(*st.lg, st.color, msg);
       }
     });
 

@@ -46,6 +46,10 @@
 #include "runtime/dist_graph.hpp"       // IWYU pragma: export
 #include "runtime/event_engine.hpp"     // IWYU pragma: export
 #include "runtime/machine_model.hpp"    // IWYU pragma: export
+#include "service/incremental_color.hpp" // IWYU pragma: export
+#include "service/incremental_match.hpp" // IWYU pragma: export
+#include "service/service.hpp"          // IWYU pragma: export
+#include "service/update_stream.hpp"    // IWYU pragma: export
 #include "support/error.hpp"            // IWYU pragma: export
 #include "support/rng.hpp"              // IWYU pragma: export
 #include "support/timer.hpp"            // IWYU pragma: export

@@ -92,8 +92,17 @@ Graph grid_3d(VertexId nx, VertexId ny, VertexId nz, WeightKind weights,
 Graph erdos_renyi(VertexId n, EdgeId m, WeightKind weights,
                   std::uint64_t seed) {
   PMC_REQUIRE(n >= 2, "erdos_renyi needs at least 2 vertices");
-  const auto max_edges =
-      static_cast<EdgeId>(n) * static_cast<EdgeId>(n - 1) / 2;
+  // The dedup key below packs (u, v) into one 64-bit word as u << 32 | v;
+  // past 2^32 vertices the pack would collide silently and under-connect
+  // the graph, so refuse the range outright. The bound must be checked
+  // before max_edges: n * (n - 1) overflows signed 64-bit well before the
+  // key does.
+  PMC_REQUIRE(n <= (VertexId{1} << 32),
+              "erdos_renyi supports at most 2^32 vertices (the packed "
+              "64-bit dedup key would collide), got " << n);
+  const EdgeId max_edges = (n % 2 == 0)
+                               ? static_cast<EdgeId>(n / 2) * (n - 1)
+                               : static_cast<EdgeId>(n) * ((n - 1) / 2);
   PMC_REQUIRE(m >= 0 && m <= max_edges,
               "edge count " << m << " exceeds maximum " << max_edges);
   Rng rng(derive_seed(seed, 0xE2D05));
@@ -127,19 +136,28 @@ Graph rmat(int scale, EdgeId edge_factor, double a, double b, double c,
   for (EdgeId e = 0; e < target; ++e) {
     VertexId u = 0;
     VertexId v = 0;
-    for (int bit = 0; bit < scale; ++bit) {
-      const double r = rng.uniform_double();
-      if (r < a) {
-        // top-left quadrant: no bits set
-      } else if (r < a + b) {
-        v |= VertexId{1} << bit;
-      } else if (r < a + b + c) {
-        u |= VertexId{1} << bit;
-      } else {
-        u |= VertexId{1} << bit;
-        v |= VertexId{1} << bit;
+    // The bit-sampling walk can land on the diagonal (u == v); the builder
+    // silently drops self-loops, which used to leave the generator short of
+    // its edge budget. Resample the whole walk until the endpoints differ
+    // (the diagonal probability per draw is (a + d)^scale < 1, so the loop
+    // terminates; with skewed parameters it materially restores density).
+    do {
+      u = 0;
+      v = 0;
+      for (int bit = 0; bit < scale; ++bit) {
+        const double r = rng.uniform_double();
+        if (r < a) {
+          // top-left quadrant: no bits set
+        } else if (r < a + b) {
+          v |= VertexId{1} << bit;
+        } else if (r < a + b + c) {
+          u |= VertexId{1} << bit;
+        } else {
+          u |= VertexId{1} << bit;
+          v |= VertexId{1} << bit;
+        }
       }
-    }
+    } while (u == v);
     acc.add(u, v);  // duplicates collapse in the builder
   }
   return acc.build();
@@ -278,6 +296,14 @@ Graph random_bipartite(VertexId left, VertexId right, EdgeId m,
                        BipartiteInfo& info, WeightKind weights,
                        std::uint64_t seed) {
   PMC_REQUIRE(left >= 1 && right >= 1, "both sides must be non-empty");
+  // Same packed-key bound as erdos_renyi: v (= left + right-side index) must
+  // fit the low 32 bits, and the guard must precede the left * right product
+  // below, which overflows first.
+  PMC_REQUIRE(left <= (VertexId{1} << 32) && right <= (VertexId{1} << 32) &&
+                  left + right <= (VertexId{1} << 32),
+              "random_bipartite supports at most 2^32 total vertices (the "
+              "packed 64-bit dedup key would collide), got "
+                  << left << " + " << right);
   const auto max_edges = static_cast<EdgeId>(left) * static_cast<EdgeId>(right);
   PMC_REQUIRE(m >= 0 && m <= max_edges,
               "edge count " << m << " exceeds bipartite maximum " << max_edges);

@@ -1,0 +1,120 @@
+// The per-rank state machine of the distributed half-approximate matching
+// (the paper's §3.2/§3.3 protocol), factored out of matching/parallel.cpp so
+// extensions can derive from it.
+//
+// The base class implements the one-shot protocol exactly: REQUEST /
+// SUCCEEDED / FAILED records, bundled or eager, over the event engine.
+// Derived classes (e.g. the service-mode incremental re-matcher) add record
+// types by overriding handle_record() and reuse the candidate/cascade
+// machinery through the protected surface. The base behavior is
+// byte-identical to the pre-refactor implementation — the determinism pins
+// in tests/test_determinism_regression.cpp hold across the move.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "matching/parallel.hpp"
+#include "runtime/dist_graph.hpp"
+#include "runtime/event_engine.hpp"
+#include "runtime/fabric.hpp"
+#include "runtime/serialize.hpp"
+
+namespace pmc {
+
+/// One rank's matching state machine (see matching/parallel.hpp for the
+/// protocol description).
+class MatchProcess : public Process {
+ public:
+  MatchProcess(const LocalGraph& lg, const DistMatchingOptions& options);
+
+  void start(EventContext& ctx) override;
+  void handle(EventContext& ctx, Rank src,
+              std::span<const std::byte> payload) override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] std::string debug_state() const override;
+
+  /// Extracts the rank's matched pairs as (owned global id, mate global id).
+  void collect(std::vector<VertexId>& global_mate) const;
+
+  [[nodiscard]] int activations() const noexcept { return activations_; }
+
+ protected:
+  enum class RecordType : std::uint8_t {
+    kRequest = 1,    // (sender vertex, target vertex)
+    kSucceeded = 2,  // (matched vertex, its mate)
+    kFailed = 3,     // (failed vertex)
+  };
+
+  enum class VState : std::uint8_t {
+    kUndecided = 0,
+    kMatched = 1,
+    kFailed = 2
+  };
+
+  /// Decodes and dispatches one record (the reader is positioned just past
+  /// the type byte). The base implementation handles the three one-shot
+  /// record types and fails on anything else; derived classes intercept
+  /// their own types and delegate the rest here.
+  virtual void handle_record(EventContext& ctx, FrameReader& reader,
+                             std::uint8_t type);
+
+  // ---- candidate maintenance ---------------------------------------------
+
+  [[nodiscard]] bool target_dead(VertexId t) const;
+  void recompute_candidate(EventContext& ctx, VertexId v);
+
+  // ---- state transitions --------------------------------------------------
+
+  void fail_vertex(EventContext& ctx, VertexId v);
+  void match_local(EventContext& ctx, VertexId a, VertexId b);
+  void match_cross(EventContext& ctx, VertexId v, VertexId ghost);
+  void notify_decided(EventContext& ctx, VertexId x, RecordType type,
+                      VertexId mate_global, Rank exclude_rank);
+  void ghost_died(VertexId ghost, VertexId skip);
+  void process_pending(EventContext& ctx);
+
+  // ---- message handling ---------------------------------------------------
+
+  void handle_request(EventContext& ctx, VertexId u_global, VertexId v_global);
+  void handle_succeeded(EventContext& ctx, VertexId x_global,
+                        VertexId mate_global);
+  void handle_failed(EventContext& ctx, VertexId x_global);
+  [[nodiscard]] EdgeId find_arc(VertexId v, VertexId t) const;
+
+  // ---- outgoing records ---------------------------------------------------
+
+  void enqueue_record(EventContext& ctx, Rank dst, RecordType type, VertexId a,
+                      VertexId b);
+  static void encode(FrameWriter& w, RecordType type, VertexId a, VertexId b);
+  void flush(EventContext& ctx);
+
+  /// Sorts vertex v's arcs by (weight desc, neighbor global id asc) — the
+  /// paper's tie-breaking rule — into arc_order_ and charges deg(v).
+  void sort_arcs(EventContext& ctx, VertexId v);
+  /// Builds the ghost -> (owned vertex, arc) incidence lists (uncharged
+  /// setup, like the CSR itself).
+  void build_ghost_incidence();
+
+  const LocalGraph& lg_;
+  Bundler bundler_;
+  std::vector<VState> state_;
+  std::vector<VertexId> mate_;  // local ids
+  std::vector<VertexId> cand_;  // local ids
+  std::vector<EdgeId> ptr_;     // position within sorted arc order
+  std::vector<bool> initialized_;
+  std::vector<bool> ghost_dead_;
+  std::vector<bool> arc_requested_;
+  std::vector<std::uint32_t> arc_order_;  // per-vertex-relative positions
+  std::vector<std::vector<std::pair<VertexId, EdgeId>>> ghost_incidence_;
+  std::deque<VertexId> pending_;
+  std::vector<Rank> scratch_ranks_;
+  VertexId undecided_ = 0;
+  int activations_ = 0;
+};
+
+}  // namespace pmc

@@ -1,403 +1,12 @@
 #include "matching/parallel.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <numeric>
-#include <sstream>
-#include <vector>
+#include <memory>
 
+#include "matching/match_process.hpp"
 #include "runtime/event_engine.hpp"
-#include "runtime/fabric.hpp"
-#include "runtime/serialize.hpp"
-#include "support/error.hpp"
 
 namespace pmc {
-
-namespace {
-
-enum class RecordType : std::uint8_t {
-  kRequest = 1,    // (sender vertex, target vertex)
-  kSucceeded = 2,  // (matched vertex, its mate)
-  kFailed = 3,     // (failed vertex)
-};
-
-enum class VState : std::uint8_t { kUndecided = 0, kMatched = 1, kFailed = 2 };
-
-/// One rank's matching state machine (see header for the protocol).
-class MatchProcess final : public Process {
- public:
-  MatchProcess(const LocalGraph& lg, const DistMatchingOptions& options)
-      : lg_(lg),
-        bundler_(options.bundled ? BundleMode::kBundled : BundleMode::kEager,
-                 options.bundle_flush_bytes, options.codec) {}
-
-  void start(EventContext& ctx) override {
-    ctx.set_phase(WorkPhase::kInterior);
-    const VertexId n = lg_.num_owned();
-    state_.assign(static_cast<std::size_t>(n), VState::kUndecided);
-    mate_.assign(static_cast<std::size_t>(n), kNoVertex);
-    cand_.assign(static_cast<std::size_t>(n), kNoVertex);
-    ptr_.assign(static_cast<std::size_t>(n), 0);
-    initialized_.assign(static_cast<std::size_t>(n), false);
-    ghost_dead_.assign(static_cast<std::size_t>(lg_.num_ghosts()), false);
-    arc_requested_.assign(static_cast<std::size_t>(
-                              n > 0 ? lg_.offset_end(n - 1) : 0),
-                          false);
-    undecided_ = n;
-
-    // Per-vertex arc order: weight descending, ties by smallest global label
-    // of the neighbor (the paper's tie-breaking rule). Positions are stored
-    // relative to the vertex's arc range to keep them 32-bit.
-    arc_order_.resize(arc_requested_.size());
-    for (VertexId v = 0; v < n; ++v) {
-      const EdgeId b = lg_.offset_begin(v);
-      const EdgeId e = lg_.offset_end(v);
-      for (EdgeId a = b; a < e; ++a) {
-        arc_order_[static_cast<std::size_t>(a)] =
-            static_cast<std::uint32_t>(a - b);
-      }
-      std::sort(arc_order_.begin() + b, arc_order_.begin() + e,
-                [this, b](std::uint32_t x, std::uint32_t y) {
-                  const EdgeId ax = b + x;
-                  const EdgeId ay = b + y;
-                  const Weight wx = lg_.arc_weight(ax);
-                  const Weight wy = lg_.arc_weight(ay);
-                  if (wx != wy) return wx > wy;
-                  return lg_.global_id(lg_.arc_target(ax)) <
-                         lg_.global_id(lg_.arc_target(ay));
-                });
-      ctx.charge(static_cast<double>(e - b));
-    }
-
-    // Ghost incidence: for each ghost, the (owned vertex, arc) pairs that
-    // reference it — lets a ghost's death cascade without scanning.
-    ghost_incidence_.resize(static_cast<std::size_t>(lg_.num_ghosts()));
-    for (VertexId v = 0; v < n; ++v) {
-      for (EdgeId a = lg_.offset_begin(v); a < lg_.offset_end(v); ++a) {
-        const VertexId t = lg_.arc_target(a);
-        if (lg_.is_ghost(t)) {
-          ghost_incidence_[static_cast<std::size_t>(t - lg_.num_owned())]
-              .emplace_back(v, a);
-        }
-      }
-    }
-
-    // Initial candidates; reciprocal local pairs match as soon as the second
-    // endpoint initializes, and cascades run through the pending queue
-    // (the paper's inner loop over interior work).
-    for (VertexId v = 0; v < n; ++v) {
-      if (state_[static_cast<std::size_t>(v)] == VState::kUndecided &&
-          !initialized_[static_cast<std::size_t>(v)]) {
-        recompute_candidate(ctx, v);
-        process_pending(ctx);
-      }
-    }
-    flush(ctx);
-  }
-
-  void handle(EventContext& ctx, Rank src,
-              std::span<const std::byte> payload) override {
-    (void)src;
-    ++activations_;
-    // Trace attribution: this rank's sends now belong to its activation
-    // depth (the matching analogue of a round), and record handling plus
-    // the cascades it triggers count as boundary work.
-    ctx.set_round(activations_);
-    ctx.set_phase(WorkPhase::kBoundary);
-    FrameReader reader(payload);
-    PMC_CHECK(reader.valid(), "undetected bad frame reached the matching: "
-                                  << reader.error());
-    for (std::int64_t i = 0; i < reader.records(); ++i) {
-      const auto type = static_cast<RecordType>(reader.read_u8());
-      ctx.charge(1.0);
-      switch (type) {
-        case RecordType::kRequest: {
-          const VertexId u_global = reader.read_id();
-          const VertexId v_global = reader.read_id_rel();
-          handle_request(ctx, u_global, v_global);
-          break;
-        }
-        case RecordType::kSucceeded: {
-          const VertexId x_global = reader.read_id();
-          const VertexId mate_global = reader.read_id_rel();
-          handle_succeeded(ctx, x_global, mate_global);
-          break;
-        }
-        case RecordType::kFailed: {
-          const VertexId x_global = reader.read_id();
-          handle_failed(ctx, x_global);
-          break;
-        }
-      }
-      process_pending(ctx);
-    }
-    PMC_CHECK(reader.done(),
-              "trailing garbage after the last matching record");
-    flush(ctx);
-  }
-
-  [[nodiscard]] bool done() const override { return undecided_ == 0; }
-
-  [[nodiscard]] std::string debug_state() const override {
-    std::ostringstream oss;
-    oss << "undecided " << undecided_ << "/" << lg_.num_owned();
-    return oss.str();
-  }
-
-  /// Extracts the rank's matched pairs as (owned global id, mate global id).
-  void collect(std::vector<VertexId>& global_mate) const {
-    for (VertexId v = 0; v < lg_.num_owned(); ++v) {
-      if (state_[static_cast<std::size_t>(v)] == VState::kMatched) {
-        global_mate[static_cast<std::size_t>(lg_.global_id(v))] =
-            lg_.global_id(mate_[static_cast<std::size_t>(v)]);
-      }
-    }
-  }
-
-  [[nodiscard]] int activations() const noexcept { return activations_; }
-
- private:
-  // ---- candidate maintenance -------------------------------------------
-
-  [[nodiscard]] bool target_dead(VertexId t) const {
-    if (lg_.is_ghost(t)) {
-      return ghost_dead_[static_cast<std::size_t>(t - lg_.num_owned())];
-    }
-    return state_[static_cast<std::size_t>(t)] != VState::kUndecided;
-  }
-
-  void recompute_candidate(EventContext& ctx, VertexId v) {
-    initialized_[static_cast<std::size_t>(v)] = true;
-    const EdgeId b = lg_.offset_begin(v);
-    const EdgeId deg = lg_.offset_end(v) - b;
-    auto& p = ptr_[static_cast<std::size_t>(v)];
-    while (p < deg) {
-      const VertexId t = lg_.arc_target(
-          b + arc_order_[static_cast<std::size_t>(b + p)]);
-      if (!target_dead(t)) break;
-      ++p;
-      ctx.charge(1.0);
-    }
-    if (p == deg) {
-      fail_vertex(ctx, v);
-      return;
-    }
-    const EdgeId arc = b + arc_order_[static_cast<std::size_t>(b + p)];
-    const VertexId c = lg_.arc_target(arc);
-    cand_[static_cast<std::size_t>(v)] = c;
-    if (!lg_.is_ghost(c)) {
-      if (initialized_[static_cast<std::size_t>(c)] &&
-          state_[static_cast<std::size_t>(c)] == VState::kUndecided &&
-          cand_[static_cast<std::size_t>(c)] == v) {
-        match_local(ctx, v, c);
-      }
-      return;
-    }
-    // Cross candidate: signal the matching preference (paper §3.2), then
-    // complete immediately if the other side already requested us (R-set).
-    enqueue_record(ctx, lg_.ghost_owner(c), RecordType::kRequest,
-                   lg_.global_id(v), lg_.global_id(c));
-    if (arc_requested_[static_cast<std::size_t>(arc)]) {
-      match_cross(ctx, v, c);
-    }
-  }
-
-  // ---- state transitions -------------------------------------------------
-
-  void fail_vertex(EventContext& ctx, VertexId v) {
-    state_[static_cast<std::size_t>(v)] = VState::kFailed;
-    cand_[static_cast<std::size_t>(v)] = kNoVertex;
-    --undecided_;
-    notify_decided(ctx, v, RecordType::kFailed, kNoVertex, kNoRank);
-  }
-
-  void match_local(EventContext& ctx, VertexId a, VertexId b) {
-    state_[static_cast<std::size_t>(a)] = VState::kMatched;
-    state_[static_cast<std::size_t>(b)] = VState::kMatched;
-    mate_[static_cast<std::size_t>(a)] = b;
-    mate_[static_cast<std::size_t>(b)] = a;
-    undecided_ -= 2;
-    notify_decided(ctx, a, RecordType::kSucceeded, lg_.global_id(b), kNoRank);
-    notify_decided(ctx, b, RecordType::kSucceeded, lg_.global_id(a), kNoRank);
-  }
-
-  void match_cross(EventContext& ctx, VertexId v, VertexId ghost) {
-    state_[static_cast<std::size_t>(v)] = VState::kMatched;
-    mate_[static_cast<std::size_t>(v)] = ghost;
-    --undecided_;
-    // The ghost is now matched (to us): it is dead for every other owned
-    // vertex. Its owner reaches the same conclusion from our REQUEST, so no
-    // SUCCEEDED needs to travel to the mate's rank.
-    ghost_died(ghost, /*skip=*/v);
-    notify_decided(ctx, v, RecordType::kSucceeded, lg_.global_id(ghost),
-                   lg_.ghost_owner(ghost));
-  }
-
-  /// Announces the decision about owned vertex x: one record per neighbor
-  /// rank with a surviving cross edge (excluding `exclude_rank`), and local
-  /// cascade for owned neighbors whose candidate was x.
-  void notify_decided(EventContext& ctx, VertexId x, RecordType type,
-                      VertexId mate_global, Rank exclude_rank) {
-    scratch_ranks_.clear();
-    for (EdgeId a = lg_.offset_begin(x); a < lg_.offset_end(x); ++a) {
-      ctx.charge(1.0);
-      const VertexId t = lg_.arc_target(a);
-      if (lg_.is_ghost(t)) {
-        if (ghost_dead_[static_cast<std::size_t>(t - lg_.num_owned())]) {
-          continue;
-        }
-        const Rank r = lg_.ghost_owner(t);
-        if (r != exclude_rank) scratch_ranks_.push_back(r);
-      } else if (state_[static_cast<std::size_t>(t)] == VState::kUndecided &&
-                 initialized_[static_cast<std::size_t>(t)] &&
-                 cand_[static_cast<std::size_t>(t)] == x) {
-        pending_.push_back(t);
-      }
-    }
-    std::sort(scratch_ranks_.begin(), scratch_ranks_.end());
-    scratch_ranks_.erase(
-        std::unique(scratch_ranks_.begin(), scratch_ranks_.end()),
-        scratch_ranks_.end());
-    for (Rank r : scratch_ranks_) {
-      enqueue_record(ctx, r, type, lg_.global_id(x), mate_global);
-    }
-  }
-
-  /// Marks a ghost dead and cascades to owned vertices that pointed at it.
-  void ghost_died(VertexId ghost, VertexId skip) {
-    const auto gidx = static_cast<std::size_t>(ghost - lg_.num_owned());
-    if (ghost_dead_[gidx]) return;
-    ghost_dead_[gidx] = true;
-    for (const auto& [w, arc] :
-         ghost_incidence_[static_cast<std::size_t>(ghost - lg_.num_owned())]) {
-      (void)arc;
-      if (w == skip) continue;
-      if (state_[static_cast<std::size_t>(w)] == VState::kUndecided &&
-          initialized_[static_cast<std::size_t>(w)] &&
-          cand_[static_cast<std::size_t>(w)] == ghost) {
-        pending_.push_back(w);
-      }
-    }
-  }
-
-  /// Drains the local cascade queue (the paper's interior inner loop).
-  void process_pending(EventContext& ctx) {
-    while (!pending_.empty()) {
-      const VertexId v = pending_.front();
-      pending_.pop_front();
-      if (state_[static_cast<std::size_t>(v)] != VState::kUndecided) continue;
-      // Only recompute when the current candidate is actually dead; the
-      // vertex may have been re-queued after already moving on.
-      const VertexId c = cand_[static_cast<std::size_t>(v)];
-      if (c != kNoVertex && !target_dead(c)) continue;
-      recompute_candidate(ctx, v);
-    }
-  }
-
-  // ---- message handling ---------------------------------------------------
-
-  void handle_request(EventContext& ctx, VertexId u_global, VertexId v_global) {
-    const VertexId gu = lg_.local_id(u_global);
-    const VertexId v = lg_.local_id(v_global);
-    PMC_CHECK(gu != kNoVertex && lg_.is_ghost(gu),
-              "REQUEST names unknown ghost " << u_global);
-    PMC_CHECK(v != kNoVertex && !lg_.is_ghost(v),
-              "REQUEST targets non-owned vertex " << v_global);
-    // Record the incoming preference on the (v, gu) arc — the R(v) set.
-    const EdgeId arc = find_arc(v, gu);
-    arc_requested_[static_cast<std::size_t>(arc)] = true;
-    if (state_[static_cast<std::size_t>(v)] != VState::kUndecided) {
-      // v already decided; the sender learns from our earlier notification.
-      return;
-    }
-    if (initialized_[static_cast<std::size_t>(v)] &&
-        cand_[static_cast<std::size_t>(v)] == gu) {
-      match_cross(ctx, v, gu);  // handshake: two symmetric REQUESTs
-    }
-  }
-
-  void handle_succeeded(EventContext& ctx, VertexId x_global,
-                        VertexId mate_global) {
-    (void)ctx;
-    const VertexId gx = lg_.local_id(x_global);
-    PMC_CHECK(gx != kNoVertex && lg_.is_ghost(gx),
-              "SUCCEEDED names unknown ghost " << x_global);
-    const VertexId mate_local = lg_.local_id(mate_global);
-    // The mate can never be one of our owned vertices: the owner excludes
-    // the mate's rank from SUCCEEDED (the handshake covers it).
-    PMC_CHECK(mate_local == kNoVertex || lg_.is_ghost(mate_local),
-              "unexpected SUCCEEDED for handshake mate " << mate_global);
-    ghost_died(gx, kNoVertex);
-  }
-
-  void handle_failed(EventContext& ctx, VertexId x_global) {
-    (void)ctx;
-    const VertexId gx = lg_.local_id(x_global);
-    PMC_CHECK(gx != kNoVertex && lg_.is_ghost(gx),
-              "FAILED names unknown ghost " << x_global);
-    ghost_died(gx, kNoVertex);
-  }
-
-  /// Finds the arc from owned v to local target t (linear scan; degrees in
-  /// the target workloads are small and each cross arc is located at most
-  /// once per REQUEST).
-  [[nodiscard]] EdgeId find_arc(VertexId v, VertexId t) const {
-    for (EdgeId a = lg_.offset_begin(v); a < lg_.offset_end(v); ++a) {
-      if (lg_.arc_target(a) == t) return a;
-    }
-    PMC_FAIL("arc (" << v << " -> " << t << ") not found on rank "
-                     << lg_.rank());
-  }
-
-  // ---- outgoing records ---------------------------------------------------
-  // Aggregation is the runtime Bundler's job: bundled mode stages records
-  // per destination until flush() (one message per neighbor rank per
-  // activation, the paper's §3.3 bundling); eager mode sends each record on
-  // its own (the unbundled ablation).
-
-  void enqueue_record(EventContext& ctx, Rank dst, RecordType type,
-                      VertexId a, VertexId b) {
-    bundler_.add(
-        dst, [&](FrameWriter& w) { encode(w, type, a, b); },
-        [&](Rank d, std::vector<std::byte> payload, std::int64_t records) {
-          ctx.send(d, std::move(payload), records);
-        });
-  }
-
-  static void encode(FrameWriter& w, RecordType type, VertexId a, VertexId b) {
-    w.begin_record();
-    w.put_u8(static_cast<std::uint8_t>(type));
-    w.put_id(a);
-    // b is a graph neighbor of a (REQUEST target / mate), so the relative
-    // encoding stays short under the compact codec.
-    if (type != RecordType::kFailed) w.put_id_rel(b);
-  }
-
-  void flush(EventContext& ctx) {
-    bundler_.flush(
-        [&](Rank d, std::vector<std::byte> payload, std::int64_t records) {
-          ctx.send(d, std::move(payload), records);
-        });
-  }
-
-  const LocalGraph& lg_;
-  Bundler bundler_;
-  std::vector<VState> state_;
-  std::vector<VertexId> mate_;        // local ids
-  std::vector<VertexId> cand_;        // local ids
-  std::vector<EdgeId> ptr_;           // position within sorted arc order
-  std::vector<bool> initialized_;
-  std::vector<bool> ghost_dead_;
-  std::vector<bool> arc_requested_;
-  std::vector<std::uint32_t> arc_order_;  // per-vertex-relative positions
-  std::vector<std::vector<std::pair<VertexId, EdgeId>>> ghost_incidence_;
-  std::deque<VertexId> pending_;
-  std::vector<Rank> scratch_ranks_;
-  VertexId undecided_ = 0;
-  int activations_ = 0;
-};
-
-}  // namespace
 
 DistMatchingResult match_distributed(const DistGraph& dist,
                                      const DistMatchingOptions& options) {

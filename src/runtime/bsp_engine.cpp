@@ -191,6 +191,14 @@ std::vector<BspMessage> BspEngine::RankCtx::drain() {
   return engine_->drain(rank_);
 }
 
+void BspEngine::exchange(
+    const std::function<void(RankCtx&, std::vector<BspMessage>)>& apply) {
+  barrier();
+  // Post-barrier drains touch only the rank's own inbox, so the phase is
+  // always parallel-safe.
+  run_ranks(true, [&](RankCtx& ctx) { apply(ctx, ctx.drain()); });
+}
+
 void BspEngine::run_ranks(bool allow_parallel,
                           const std::function<void(RankCtx&)>& body) {
   const Rank P = num_ranks();

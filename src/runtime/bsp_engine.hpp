@@ -179,6 +179,13 @@ class BspEngine {
   void run_ranks(bool allow_parallel,
                  const std::function<void(RankCtx&)>& body);
 
+  /// The bulk-synchronous exchange that ends a superstep round: barrier(),
+  /// then a parallel-safe phase in which every rank drains its inbox and
+  /// `apply` consumes the messages. Equivalent to the barrier() +
+  /// run_ranks(true, drain...) pattern every BSP driver repeats.
+  void exchange(
+      const std::function<void(RankCtx&, std::vector<BspMessage>)>& apply);
+
   /// Runs an asynchronous superstep — a phase whose callbacks may call
   /// ctx.poll() once, up front — once for every rank, parallelizing when a
   /// clock-only safety check proves the parallel schedule byte-identical to

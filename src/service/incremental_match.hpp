@@ -1,0 +1,121 @@
+// Incremental re-matching after a batch of edge updates (service mode).
+//
+// The locally-dominant half-approximate matching is the unique fixed point
+// of the paper's §3 protocol under the deterministic tie-breaking (weight
+// descending, then smaller neighbor id), so it can be repaired instead of
+// recomputed: only the part of the old matching whose support changed needs
+// to be re-negotiated, and the result is byte-identical to a full recompute
+// on the new graph.
+//
+// The repair runs as a two-phase protocol on the same event engine as the
+// one-shot matching (all traffic is ordinary fabric messages: alpha-beta
+// costed, bundled, fault-injectable):
+//
+//   Phase 1 (closure). Seed the endpoints of every updated edge as
+//   *invalidated*, then close under three monotone rules:
+//     (a) dissolution — the mate of an invalidated matched vertex is
+//         invalidated (a matching cannot keep half a pair);
+//     (b) failed revival — a FAILED vertex adjacent to an invalidated
+//         vertex is invalidated (its "all neighbors dead" conclusion may
+//         no longer hold);
+//     (c) preference — a matched vertex that prefers an invalidated
+//         neighbor over its current mate (by the protocol's tie-break
+//         order) is invalidated (its pair may not be locally dominant in
+//         the new graph).
+//   Cross-rank propagation uses a new INVALIDATE record: every rank holding
+//   a ghost copy of an invalidated vertex revives that ghost (all ghosts
+//   start dead — the previous matching decided everything) and applies the
+//   same rules to the ghost's incident owned vertices. The closure is a
+//   monotone fixed point, so it is independent of message arrival order.
+//
+//   Phase 2 (re-match). At global quiescence the engine's idle fan-out
+//   flips every rank into the ordinary §3.2 protocol restricted to the
+//   invalidated region: frozen vertices and non-revived ghosts are dead,
+//   invalidated vertices re-sort their arcs (the graph changed under them)
+//   and re-enter candidate selection. The frozen part of the old matching
+//   plus the re-negotiated part equals the full matching of the new graph.
+#pragma once
+
+#include <vector>
+
+#include "matching/match_process.hpp"
+#include "matching/parallel.hpp"
+#include "service/update_stream.hpp"
+
+namespace pmc {
+
+/// Global vertex ids incident to any update in the batch (sorted, unique) —
+/// the invalidation seeds for incremental re-matching and re-coloring.
+[[nodiscard]] std::vector<VertexId> touched_vertices(
+    const std::vector<EdgeUpdate>& updates);
+
+/// Result of an incremental re-matching run.
+struct IncrementalMatchResult {
+  Matching matching;  ///< Matching of the *new* graph (== full recompute).
+  RunResult run;      ///< Modelled time + communication statistics.
+  int max_activations = 0;
+  /// Vertices invalidated by the closure (re-negotiated), summed over ranks.
+  VertexId invalidated = 0;
+};
+
+/// Repairs `previous` (the matching of the pre-update graph) into the
+/// matching of `dist` (the distribution of the *post-update* graph).
+/// `touched` lists the global endpoints of the batch's updates. The result
+/// is byte-identical to match_distributed(dist, options).matching.
+[[nodiscard]] IncrementalMatchResult match_incremental(
+    const DistGraph& dist, const Matching& previous,
+    const std::vector<VertexId>& touched,
+    const DistMatchingOptions& options = {});
+
+/// One rank's two-phase repair state machine (see file comment).
+class IncrementalMatchProcess : public MatchProcess {
+ public:
+  /// `prev_mate` is the previous global mate array (kNoVertex = unmatched);
+  /// `touched` the batch's seed vertices (global ids). Both must outlive the
+  /// process.
+  IncrementalMatchProcess(const LocalGraph& lg,
+                          const DistMatchingOptions& options,
+                          const std::vector<VertexId>& prev_mate,
+                          const std::vector<VertexId>& touched);
+
+  void start(EventContext& ctx) override;
+  void idle(EventContext& ctx) override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] std::string debug_state() const override;
+
+  [[nodiscard]] VertexId invalidated_count() const noexcept {
+    return invalidated_count_;
+  }
+
+ protected:
+  /// The closure phase's cross-rank record (kRequest/kSucceeded/kFailed
+  /// keep their base meaning in the re-match phase).
+  static constexpr std::uint8_t kInvalidateRecord = 4;
+
+  enum class Phase : std::uint8_t { kClosure, kMatch };
+
+  void handle_record(EventContext& ctx, FrameReader& reader,
+                     std::uint8_t type) override;
+
+  /// Marks owned vertex v invalidated: dissolves its pair, announces the
+  /// revival to every rank holding a ghost copy, and queues the closure
+  /// checks for its local neighbors. No-op when already invalidated.
+  void invalidate(EventContext& ctx, VertexId v);
+  /// True iff the closure rules (b)/(c) pull owned vertex u in, given that
+  /// its neighbor `cause` (weight w_uc on their shared edge) was just
+  /// invalidated.
+  [[nodiscard]] bool closure_pulls(VertexId u, VertexId cause, Weight w_uc);
+  /// Drains the closure worklist (invalidate() feeds it).
+  void drain_closure(EventContext& ctx);
+  void handle_invalidate(EventContext& ctx, VertexId v_global);
+  void enqueue_invalidate(EventContext& ctx, Rank dst, VertexId v_global);
+
+  const std::vector<VertexId>& prev_mate_;
+  const std::vector<VertexId>& touched_;
+  Phase phase_ = Phase::kClosure;
+  std::vector<bool> invalidated_;  // owned local ids
+  std::deque<VertexId> closure_queue_;
+  VertexId invalidated_count_ = 0;
+};
+
+}  // namespace pmc

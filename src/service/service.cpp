@@ -1,0 +1,85 @@
+#include "service/service.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace pmc {
+
+GraphService::GraphService(const Graph& initial, Partition partition,
+                           ServiceOptions options)
+    : options_(options),
+      partition_(std::move(partition)),
+      dynamic_(initial),
+      graph_(initial) {
+  PMC_REQUIRE(partition_.num_vertices() == initial.num_vertices(),
+              "partition covers " << partition_.num_vertices()
+                                  << " vertices, graph has "
+                                  << initial.num_vertices());
+  PMC_REQUIRE(options_.batch_window >= 0,
+              "negative batch_window " << options_.batch_window);
+  const DistGraph dist = DistGraph::build(graph_, partition_);
+  DistMatchingResult m = match_distributed(dist, options_.matching);
+  matching_ = std::move(m.matching);
+  initial_match_sim_ = m.run.sim_seconds;
+  IncrementalColorResult c = color_canonical(dist, options_.coloring);
+  coloring_ = std::move(c.coloring);
+  initial_color_sim_ = c.run.sim_seconds;
+}
+
+std::optional<BatchReport> GraphService::push(const EdgeUpdate& update) {
+  buffer_.push_back(update);
+  if (options_.batch_window > 0 &&
+      static_cast<std::int64_t>(buffer_.size()) >= options_.batch_window) {
+    return refresh();
+  }
+  return std::nullopt;
+}
+
+BatchReport GraphService::refresh() {
+  PMC_REQUIRE(!buffer_.empty(), "refresh() with no buffered updates");
+  for (const EdgeUpdate& update : buffer_) dynamic_.apply(update);
+  const std::vector<VertexId> touched = touched_vertices(buffer_);
+
+  graph_ = dynamic_.snapshot();
+  const DistGraph dist = DistGraph::build(graph_, partition_);
+
+  IncrementalMatchResult im =
+      match_incremental(dist, matching_, touched, options_.matching);
+  IncrementalColorResult ic =
+      color_incremental(dist, coloring_, touched, options_.coloring);
+
+  BatchReport report;
+  report.batch = static_cast<std::int64_t>(history_.size());
+  report.updates = static_cast<std::int64_t>(buffer_.size());
+  report.touched = static_cast<std::int64_t>(touched.size());
+  report.match_invalidated = im.invalidated;
+  report.color_recolored = ic.recolored;
+  report.match_sim_seconds = im.run.sim_seconds;
+  report.color_sim_seconds = ic.run.sim_seconds;
+
+  if (options_.verify_batches) {
+    const DistMatchingResult fm = match_distributed(dist, options_.matching);
+    PMC_CHECK(fm.matching.mate == im.matching.mate,
+              "incremental matching diverged from the full recompute on "
+              "batch "
+                  << report.batch);
+    const IncrementalColorResult fc = color_canonical(dist, options_.coloring);
+    PMC_CHECK(fc.coloring.color == ic.coloring.color,
+              "incremental coloring diverged from the full recompute on "
+              "batch "
+                  << report.batch);
+    report.full_match_sim_seconds = fm.run.sim_seconds;
+    report.full_color_sim_seconds = fc.run.sim_seconds;
+  }
+
+  matching_ = std::move(im.matching);
+  coloring_ = std::move(ic.coloring);
+  report.matching_weight = matching_weight(graph_, matching_);
+  report.num_colors = coloring_.num_colors();
+  history_.push_back(report);
+  buffer_.clear();
+  return report;
+}
+
+}  // namespace pmc

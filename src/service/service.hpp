@@ -1,0 +1,115 @@
+// Service mode: a long-lived graph that absorbs edge-update streams and
+// keeps its matching and coloring repaired incrementally.
+//
+// GraphService owns the dynamic graph, a fixed partition (ownership does
+// not migrate — the paper's data distribution with a static p(v)), and the
+// current matching + canonical coloring. Updates are pushed one at a time
+// and coalesced by a batching front-end: once `batch_window` updates are
+// buffered (or refresh() is called), the service applies the batch,
+// rebuilds the distribution, and repairs both solutions via the
+// incremental drivers (service/incremental_match.hpp,
+// service/incremental_color.hpp). Each batch yields a BatchReport with the
+// modelled repair times; with `verify_batches` the service also runs full
+// recomputes and asserts byte-identical agreement — the service's
+// self-check, on by default in tests and the bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coloring/parallel.hpp"
+#include "graph/csr_graph.hpp"
+#include "matching/parallel.hpp"
+#include "partition/partition.hpp"
+#include "service/incremental_color.hpp"
+#include "service/incremental_match.hpp"
+#include "service/update_stream.hpp"
+
+namespace pmc {
+
+/// Options of a GraphService.
+struct ServiceOptions {
+  /// Updates buffered before push() automatically refreshes; 0 disables
+  /// auto-refresh (batches form only on explicit refresh()).
+  std::int64_t batch_window = 32;
+  /// Options forwarded to the matching runs (incremental and baseline).
+  DistMatchingOptions matching;
+  /// Options forwarded to the coloring runs (see incremental_color.hpp for
+  /// which fields the canonical driver honors).
+  DistColoringOptions coloring;
+  /// Run a full recompute alongside every incremental repair and require
+  /// byte-identical results (also fills the full_* report fields).
+  bool verify_batches = false;
+};
+
+/// Per-batch outcome statistics.
+struct BatchReport {
+  std::int64_t batch = 0;    ///< 0-based batch index.
+  std::int64_t updates = 0;  ///< Updates applied in this batch.
+  std::int64_t touched = 0;  ///< Distinct endpoints seeded.
+  /// Vertices the matching closure re-negotiated / color assignments that
+  /// changed — the incremental work actually done.
+  VertexId match_invalidated = 0;
+  std::int64_t color_recolored = 0;
+  /// Modelled (simulated) seconds of the incremental repairs.
+  double match_sim_seconds = 0.0;
+  double color_sim_seconds = 0.0;
+  /// Modelled seconds of the full recomputes (0 unless verify_batches).
+  double full_match_sim_seconds = 0.0;
+  double full_color_sim_seconds = 0.0;
+  /// Solution quality after the batch.
+  Weight matching_weight = 0.0;
+  Color num_colors = 0;
+};
+
+/// A dynamic graph with incrementally maintained matching and coloring.
+class GraphService {
+ public:
+  /// Builds the service on `initial` with the fixed `partition`, running
+  /// the cold matching + canonical coloring once.
+  GraphService(const Graph& initial, Partition partition,
+               ServiceOptions options = {});
+
+  /// Buffers one update; refreshes automatically when the buffer reaches
+  /// batch_window. Returns the batch report when a refresh happened.
+  std::optional<BatchReport> push(const EdgeUpdate& update);
+
+  /// Applies all buffered updates as one batch and repairs the solutions.
+  /// Requires a non-empty buffer.
+  BatchReport refresh();
+
+  [[nodiscard]] std::int64_t pending_updates() const noexcept {
+    return static_cast<std::int64_t>(buffer_.size());
+  }
+
+  /// Current graph snapshot (rebuilt at every refresh).
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Matching& matching() const noexcept { return matching_; }
+  [[nodiscard]] const Coloring& coloring() const noexcept { return coloring_; }
+  /// Reports of all completed batches, in order.
+  [[nodiscard]] const std::vector<BatchReport>& history() const noexcept {
+    return history_;
+  }
+  /// Modelled seconds of the initial cold matching + coloring runs.
+  [[nodiscard]] double initial_match_sim_seconds() const noexcept {
+    return initial_match_sim_;
+  }
+  [[nodiscard]] double initial_color_sim_seconds() const noexcept {
+    return initial_color_sim_;
+  }
+
+ private:
+  ServiceOptions options_;
+  Partition partition_;
+  DynamicGraph dynamic_;
+  Graph graph_;
+  Matching matching_;
+  Coloring coloring_;
+  std::vector<EdgeUpdate> buffer_;
+  std::vector<BatchReport> history_;
+  double initial_match_sim_ = 0.0;
+  double initial_color_sim_ = 0.0;
+};
+
+}  // namespace pmc

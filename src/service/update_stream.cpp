@@ -1,0 +1,395 @@
+#include "service/update_stream.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "graph/builder.hpp"
+#include "support/error.hpp"
+
+namespace pmc {
+
+const char* to_string(UpdateOp op) {
+  switch (op) {
+    case UpdateOp::kInsert: return "insert";
+    case UpdateOp::kDelete: return "delete";
+    case UpdateOp::kReweight: return "reweight";
+  }
+  PMC_FAIL("invalid UpdateOp " << static_cast<int>(op));
+}
+
+// ---- DynamicGraph ---------------------------------------------------------
+
+DynamicGraph::DynamicGraph(const Graph& initial)
+    : n_(initial.num_vertices()),
+      m_(initial.num_edges()),
+      adj_(static_cast<std::size_t>(initial.num_vertices())) {
+  for (VertexId u = 0; u < n_; ++u) {
+    const auto nbrs = initial.neighbors(u);
+    const auto wts = initial.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      adj_[static_cast<std::size_t>(u)].emplace(
+          nbrs[i], initial.has_weights() ? wts[i] : Weight{1});
+    }
+  }
+}
+
+bool DynamicGraph::has_edge(VertexId u, VertexId v) const {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_) return false;
+  return adj_[static_cast<std::size_t>(u)].contains(v);
+}
+
+Weight DynamicGraph::edge_weight(VertexId u, VertexId v) const {
+  PMC_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+              "edge_weight endpoint out of range: (" << u << ", " << v << ")");
+  const auto it = adj_[static_cast<std::size_t>(u)].find(v);
+  PMC_REQUIRE(it != adj_[static_cast<std::size_t>(u)].end(),
+              "edge (" << u << ", " << v << ") does not exist");
+  return it->second;
+}
+
+void DynamicGraph::require_valid_endpoints(const EdgeUpdate& update) const {
+  PMC_REQUIRE(update.u >= 0 && update.u < n_ && update.v >= 0 && update.v < n_,
+              to_string(update.op) << " endpoint out of range: (" << update.u
+                                   << ", " << update.v << "), n = " << n_);
+  PMC_REQUIRE(update.u != update.v, to_string(update.op)
+                                        << " is a self-loop on " << update.u);
+}
+
+void DynamicGraph::apply(const EdgeUpdate& update) {
+  require_valid_endpoints(update);
+  auto& au = adj_[static_cast<std::size_t>(update.u)];
+  auto& av = adj_[static_cast<std::size_t>(update.v)];
+  switch (update.op) {
+    case UpdateOp::kInsert: {
+      const bool inserted = au.emplace(update.v, update.w).second;
+      PMC_REQUIRE(inserted, "insert of existing edge (" << update.u << ", "
+                                                        << update.v << ")");
+      av.emplace(update.u, update.w);
+      ++m_;
+      return;
+    }
+    case UpdateOp::kDelete: {
+      PMC_REQUIRE(au.erase(update.v) == 1, "delete of absent edge ("
+                                               << update.u << ", " << update.v
+                                               << ")");
+      av.erase(update.u);
+      --m_;
+      return;
+    }
+    case UpdateOp::kReweight: {
+      const auto it = au.find(update.v);
+      PMC_REQUIRE(it != au.end(), "reweight of absent edge ("
+                                      << update.u << ", " << update.v << ")");
+      it->second = update.w;
+      av.find(update.u)->second = update.w;
+      return;
+    }
+  }
+  PMC_FAIL("invalid UpdateOp " << static_cast<int>(update.op));
+}
+
+Graph DynamicGraph::snapshot() const {
+  GraphBuilder builder(n_, /*weighted=*/true);
+  for (VertexId u = 0; u < n_; ++u) {
+    for (const auto& [v, w] : adj_[static_cast<std::size_t>(u)]) {
+      if (u < v) builder.add_edge(u, v, w);
+    }
+  }
+  return std::move(builder).build();
+}
+
+// ---- UpdateStreamGenerator ------------------------------------------------
+
+UpdateStreamGenerator::UpdateStreamGenerator(const Graph& initial,
+                                             UpdateStreamConfig config)
+    : config_(config),
+      rng_(derive_seed(config.seed, 0x75706461ULL)),  // "upda"
+      n_(initial.num_vertices()) {
+  PMC_REQUIRE(n_ >= 2, "update streams need at least 2 vertices, got " << n_);
+  PMC_REQUIRE(config_.insert_fraction >= 0 && config_.delete_fraction >= 0 &&
+                  config_.insert_fraction + config_.delete_fraction <= 1.0,
+              "invalid operation mix: insert " << config_.insert_fraction
+                                               << ", delete "
+                                               << config_.delete_fraction);
+  edges_.reserve(static_cast<std::size_t>(initial.num_edges()));
+  for (VertexId u = 0; u < n_; ++u) {
+    for (const VertexId v : initial.neighbors(u)) {
+      if (u < v) {
+        edge_index_.emplace(std::make_pair(u, v), edges_.size());
+        edges_.emplace_back(u, v);
+      }
+    }
+  }
+}
+
+Weight UpdateStreamGenerator::draw_weight() {
+  switch (config_.weights) {
+    case WeightKind::kUnit: return Weight{1};
+    case WeightKind::kUniformRandom:
+      // (0, 1] — matches the generators' convention (no zero weights).
+      return Weight{1} - rng_.uniform_double();
+    case WeightKind::kIntegral:
+      return static_cast<Weight>(rng_.uniform_int(1, 1000));
+  }
+  PMC_FAIL("invalid WeightKind");
+}
+
+EdgeUpdate UpdateStreamGenerator::make_insert() {
+  const auto max_edges = static_cast<EdgeId>(n_) * (n_ - 1) / 2;
+  if (static_cast<EdgeId>(edges_.size()) == max_edges) {
+    return make_delete();  // complete graph: nothing left to insert
+  }
+  // Rejection-sample an absent pair; on pathologically dense graphs fall
+  // back to a deterministic scan from the last rejected pair.
+  VertexId u = 0;
+  VertexId v = 1;
+  bool found = false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    u = rng_.uniform_int(0, n_ - 1);
+    v = rng_.uniform_int(0, n_ - 2);
+    if (v >= u) ++v;
+    if (u > v) std::swap(u, v);
+    if (!edge_index_.contains({u, v})) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    // Deterministic fallback: scan rows starting at the last rejected u.
+    // The graph is not complete (checked above), so some pair is absent.
+    const VertexId start = u;
+    for (VertexId i = 0; i < n_ && !found; ++i) {
+      const VertexId a = (start + i) % n_;
+      for (VertexId b = a + 1; b < n_; ++b) {
+        if (!edge_index_.contains({a, b})) {
+          u = a;
+          v = b;
+          found = true;
+          break;
+        }
+      }
+    }
+    PMC_CHECK(found, "no absent pair found in a non-complete graph");
+  }
+  return {UpdateOp::kInsert, u, v, draw_weight()};
+}
+
+EdgeUpdate UpdateStreamGenerator::make_delete() {
+  if (edges_.empty()) return make_insert();  // edgeless: nothing to delete
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(edges_.size()) - 1));
+  const auto [u, v] = edges_[idx];
+  return {UpdateOp::kDelete, u, v, Weight{1}};
+}
+
+EdgeUpdate UpdateStreamGenerator::make_reweight() {
+  if (edges_.empty()) return make_insert();  // edgeless: nothing to reweight
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(edges_.size()) - 1));
+  const auto [u, v] = edges_[idx];
+  return {UpdateOp::kReweight, u, v, draw_weight()};
+}
+
+void UpdateStreamGenerator::apply_to_mirror(const EdgeUpdate& update) {
+  const auto key = std::make_pair(update.u, update.v);
+  switch (update.op) {
+    case UpdateOp::kInsert:
+      edge_index_.emplace(key, edges_.size());
+      edges_.push_back(key);
+      return;
+    case UpdateOp::kDelete: {
+      const auto it = edge_index_.find(key);
+      const std::size_t idx = it->second;
+      edge_index_.erase(it);
+      if (idx + 1 != edges_.size()) {
+        edges_[idx] = edges_.back();
+        edge_index_[edges_[idx]] = idx;
+      }
+      edges_.pop_back();
+      return;
+    }
+    case UpdateOp::kReweight:
+      return;  // edge-set mirror tracks presence only
+  }
+  PMC_FAIL("invalid UpdateOp " << static_cast<int>(update.op));
+}
+
+EdgeUpdate UpdateStreamGenerator::next() {
+  const double roll = rng_.uniform_double();
+  EdgeUpdate update;
+  if (roll < config_.insert_fraction) {
+    update = make_insert();
+  } else if (roll < config_.insert_fraction + config_.delete_fraction) {
+    update = make_delete();
+  } else {
+    update = make_reweight();
+  }
+  apply_to_mirror(update);
+  return update;
+}
+
+std::vector<EdgeUpdate> UpdateStreamGenerator::next_batch(std::int64_t count) {
+  PMC_REQUIRE(count >= 0, "negative batch size " << count);
+  std::vector<EdgeUpdate> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) batch.push_back(next());
+  return batch;
+}
+
+// ---- JSONL serialization --------------------------------------------------
+
+void write_update_log(std::ostream& out,
+                      const std::vector<EdgeUpdate>& updates) {
+  char buf[64];
+  for (const EdgeUpdate& e : updates) {
+    out << R"({"op":")" << to_string(e.op) << R"(","u":)" << e.u
+        << R"(,"v":)" << e.v;
+    if (e.op != UpdateOp::kDelete) {
+      std::snprintf(buf, sizeof buf, "%.17g", e.w);
+      out << R"(,"w":)" << buf;
+    }
+    out << "}\n";
+  }
+  PMC_REQUIRE(out.good(), "failed writing update log");
+}
+
+void write_update_log(const std::string& path,
+                      const std::vector<EdgeUpdate>& updates) {
+  std::ofstream out(path);
+  PMC_REQUIRE(out.is_open(), "cannot open '" << path << "' for writing");
+  write_update_log(out, updates);
+}
+
+namespace {
+
+/// Minimal strict parser for the fixed JSONL schema written above. Not a
+/// general JSON parser: fields must appear in order, no extra whitespace
+/// handling beyond leading spaces per token.
+class LogLineParser {
+ public:
+  LogLineParser(const std::string& line, std::int64_t lineno)
+      : line_(line), lineno_(lineno) {}
+
+  [[nodiscard]] EdgeUpdate parse() {
+    expect('{');
+    const std::string op = string_field("op");
+    EdgeUpdate update;
+    if (op == "insert") {
+      update.op = UpdateOp::kInsert;
+    } else if (op == "delete") {
+      update.op = UpdateOp::kDelete;
+    } else if (op == "reweight") {
+      update.op = UpdateOp::kReweight;
+    } else {
+      fail("unknown op '" + op + "'");
+    }
+    expect(',');
+    update.u = int_field("u");
+    expect(',');
+    update.v = int_field("v");
+    if (update.op != UpdateOp::kDelete) {
+      expect(',');
+      update.w = double_field("w");
+    }
+    expect('}');
+    skip_spaces();
+    if (pos_ != line_.size()) fail("trailing garbage");
+    return update;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    PMC_FAIL("update log line " << lineno_ << ": " << what << " in '" << line_
+                                << "'");
+  }
+
+  void skip_spaces() {
+    while (pos_ < line_.size() && line_[pos_] == ' ') ++pos_;
+  }
+
+  void expect(char c) {
+    skip_spaces();
+    if (pos_ >= line_.size() || line_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  void key(const char* name) {
+    expect('"');
+    const std::string expected = name;
+    if (line_.compare(pos_, expected.size(), expected) != 0) {
+      fail("expected key \"" + expected + "\"");
+    }
+    pos_ += expected.size();
+    expect('"');
+    expect(':');
+  }
+
+  [[nodiscard]] std::string string_field(const char* name) {
+    key(name);
+    expect('"');
+    const auto end = line_.find('"', pos_);
+    if (end == std::string::npos) fail("unterminated string");
+    std::string value = line_.substr(pos_, end - pos_);
+    pos_ = end + 1;
+    return value;
+  }
+
+  [[nodiscard]] VertexId int_field(const char* name) {
+    key(name);
+    skip_spaces();
+    std::size_t used = 0;
+    VertexId value = 0;
+    try {
+      value = std::stoll(line_.substr(pos_), &used);
+    } catch (const std::exception&) {
+      fail(std::string("bad integer for \"") + name + "\"");
+    }
+    pos_ += used;
+    return value;
+  }
+
+  [[nodiscard]] double double_field(const char* name) {
+    key(name);
+    skip_spaces();
+    std::size_t used = 0;
+    double value = 0;
+    try {
+      value = std::stod(line_.substr(pos_), &used);
+    } catch (const std::exception&) {
+      fail(std::string("bad number for \"") + name + "\"");
+    }
+    pos_ += used;
+    return value;
+  }
+
+  const std::string& line_;
+  std::int64_t lineno_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<EdgeUpdate> read_update_log(std::istream& in) {
+  std::vector<EdgeUpdate> updates;
+  std::string line;
+  std::int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    updates.push_back(LogLineParser(line, lineno).parse());
+  }
+  return updates;
+}
+
+std::vector<EdgeUpdate> read_update_log(const std::string& path) {
+  std::ifstream in(path);
+  PMC_REQUIRE(in.is_open(), "cannot open '" << path << "' for reading");
+  return read_update_log(in);
+}
+
+}  // namespace pmc

@@ -406,6 +406,135 @@ TEST(Distance2Chaos, RunsAreBitIdenticalForAFixedSeed) {
   expect_same_run(a.run, b.run);
 }
 
+// ---- service mode (incremental repair under faults) -------------------------
+
+/// The update-stream sweep: drops, duplicates and corruption injected while
+/// the *incremental* re-matching / re-coloring runs. The acceptance bar is
+/// the same as for the cold algorithms — recovery must reproduce the exact
+/// fault-free solution — plus the service-mode bar: every batch's repair
+/// equals a full recompute on the post-batch graph.
+class ServiceChaos : public ::testing::Test {
+ protected:
+  ServiceChaos()
+      : g_(grid_2d(32, 32, WeightKind::kUniformRandom, 7)),
+        p_(grid_2d_partition(32, 32, 2, 2)) {}
+
+  Graph g_;
+  Partition p_;
+};
+
+TEST_F(ServiceChaos, UpdateStreamSweepRepairsExactlyUnderFaults) {
+  struct Point {
+    double drop, dup, corrupt;
+    std::uint64_t seed;
+  };
+  const std::vector<Point> sweep = {
+      {0.05, 0.00, 0.00, 201},  // drops only
+      {0.00, 0.02, 0.10, 202},  // duplicates + corruption
+      {0.10, 0.02, 0.10, 203},  // everything at once
+  };
+  for (const Point& pt : sweep) {
+    SCOPED_TRACE("drop=" + std::to_string(pt.drop) +
+                 " dup=" + std::to_string(pt.dup) +
+                 " corrupt=" + std::to_string(pt.corrupt));
+    ServiceOptions so;
+    so.batch_window = 25;
+    // Every batch self-checks: the faulted incremental repair must be
+    // byte-identical to a (likewise faulted) full recompute.
+    so.verify_batches = true;
+    so.matching = with_env_exec(DistMatchingOptions{});
+    so.coloring = with_env_exec(DistColoringOptions{});
+    for (FaultConfig* f : {&so.matching.faults, &so.coloring.faults}) {
+      f->drop_rate = pt.drop;
+      f->duplicate_rate = pt.dup;
+      f->corrupt_rate = pt.corrupt;
+      f->seed = pt.seed;
+    }
+    GraphService service(g_, p_, so);
+
+    UpdateStreamConfig cfg;
+    cfg.seed = 31;
+    UpdateStreamGenerator gen(g_, cfg);
+    for (const EdgeUpdate& u : gen.next_batch(200)) (void)service.push(u);
+    ASSERT_EQ(service.history().size(), 8u);
+
+    // The final solutions verify and equal the *fault-free* recomputes on
+    // the final graph — faults cost modelled time, never correctness.
+    std::string why;
+    EXPECT_TRUE(is_valid_matching(service.graph(), service.matching(), &why))
+        << why;
+    EXPECT_TRUE(is_maximal_matching(service.graph(), service.matching()));
+    EXPECT_TRUE(is_proper_coloring(service.graph(), service.coloring(), &why))
+        << why;
+    const DistGraph dist = DistGraph::build(service.graph(), p_);
+    const auto clean_match =
+        match_distributed(dist, with_env_exec(DistMatchingOptions{}));
+    EXPECT_EQ(service.matching().mate, clean_match.matching.mate);
+    const auto clean_color =
+        color_canonical(dist, with_env_exec(DistColoringOptions{}));
+    EXPECT_EQ(service.coloring().color, clean_color.coloring.color);
+  }
+}
+
+TEST_F(ServiceChaos, IncrementalDriversRecoverDropsAndCorruptionDirectly) {
+  // One batch driven through the raw incremental drivers with aggressive
+  // fault rates, so the recovery machinery's own counters are observable
+  // (GraphService does not expose per-run FaultStats).
+  auto match_opt = with_env_exec(DistMatchingOptions{});
+  auto color_opt = with_env_exec(DistColoringOptions{});
+  const DistGraph dist0 = DistGraph::build(g_, p_);
+  const Matching m0 = match_distributed(dist0, match_opt).matching;
+  const Coloring c0 = color_canonical(dist0, color_opt).coloring;
+
+  UpdateStreamConfig cfg;
+  cfg.seed = 37;
+  UpdateStreamGenerator gen(g_, cfg);
+  const std::vector<EdgeUpdate> batch = gen.next_batch(40);
+  DynamicGraph dyn(g_);
+  for (const EdgeUpdate& u : batch) dyn.apply(u);
+  const Graph g1 = dyn.snapshot();
+  const DistGraph dist1 = DistGraph::build(g1, p_);
+  const std::vector<VertexId> touched = touched_vertices(batch);
+
+  for (FaultConfig* f : {&match_opt.faults, &color_opt.faults}) {
+    f->drop_rate = 0.20;
+    f->corrupt_rate = 0.20;
+    f->seed = 211;
+  }
+
+  // Matching: the event engine's ack/retry transport recovers INVALIDATE
+  // records and re-proposals alike, so the repaired matching equals the
+  // fault-free full recompute bit for bit.
+  const auto inc_m = match_incremental(dist1, m0, touched, match_opt);
+  auto clean_m_opt = with_env_exec(DistMatchingOptions{});
+  const auto full_m = match_distributed(dist1, clean_m_opt);
+  EXPECT_EQ(inc_m.matching.mate, full_m.matching.mate);
+  const FaultStats fm = inc_m.run.breakdown.total_faults();
+  EXPECT_GT(fm.drops, 0);
+  EXPECT_GT(fm.retries, 0);
+  EXPECT_GT(fm.corruptions, 0);
+  EXPECT_EQ(fm.corruptions_detected, fm.corruptions);
+
+  // Coloring: lost / garbled announcements re-enter the sender's repair
+  // loop; the canonical fixed point is unique, so the warm faulted run
+  // still lands on the fault-free coloring.
+  const auto inc_c = color_incremental(dist1, c0, touched, color_opt);
+  auto clean_c_opt = with_env_exec(DistColoringOptions{});
+  const auto full_c = color_canonical(dist1, clean_c_opt);
+  EXPECT_EQ(inc_c.coloring.color, full_c.coloring.color);
+  const FaultStats fc = inc_c.run.breakdown.total_faults();
+  EXPECT_GT(fc.drops + fc.corruptions, 0);
+  EXPECT_EQ(fc.corruptions_detected, fc.corruptions);
+
+  // Both repairs pin for a fixed fault seed.
+  const auto inc_m2 = match_incremental(dist1, m0, touched, match_opt);
+  EXPECT_EQ(inc_m2.matching.mate, inc_m.matching.mate);
+  expect_same_run(inc_m2.run, inc_m.run);
+  const auto inc_c2 = color_incremental(dist1, c0, touched, color_opt);
+  EXPECT_EQ(inc_c2.coloring.color, inc_c.coloring.color);
+  expect_same_run(inc_c2.run, inc_c.run);
+}
+
 TEST(Distance2Chaos, CorruptionStaysProper) {
   const Graph g = grid_2d(16, 16, WeightKind::kUnit, 3);
   const Partition p = grid_2d_partition(16, 16, 2, 2);

@@ -11,12 +11,37 @@
 #   ./tools/check_bench_artifacts.sh [artifact.json ...]
 #
 # With no arguments, checks every BENCH_*.json at the repo root.
+#
+# --compare-baseline mode additionally gates freshly generated artifacts
+# against the committed baselines:
+#
+#   ./tools/check_bench_artifacts.sh --compare-baseline build/BENCH_service.json
+#
+# Each candidate is validated as above, then matched (by basename) to the
+# committed BENCH_*.json at the repo root and compared per
+# (workload, threads): a missing row or a modelled sim_seconds more than
+# 10% above the baseline fails the check. Modelled time is deterministic,
+# so the tolerance absorbs only intentional cost-model drift, not noise;
+# a justified regression is handled by regenerating the committed baseline
+# in the same change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [ "$#" -gt 0 ]; then
-  artifacts=("$@")
-else
+compare_mode=0
+artifacts=()
+for arg in "$@"; do
+  case "$arg" in
+    --compare-baseline) compare_mode=1 ;;
+    --*) echo "check_bench_artifacts: unknown flag $arg" >&2; exit 2 ;;
+    *) artifacts+=("$arg") ;;
+  esac
+done
+
+if [ "${#artifacts[@]}" -eq 0 ]; then
+  if [ "$compare_mode" -eq 1 ]; then
+    echo "check_bench_artifacts: --compare-baseline needs candidate artifact path(s)" >&2
+    exit 2
+  fi
   shopt -s nullglob
   artifacts=(BENCH_*.json)
   shopt -u nullglob
@@ -26,11 +51,13 @@ if [ "${#artifacts[@]}" -eq 0 ]; then
   exit 1
 fi
 
-python3 - "${artifacts[@]}" <<'EOF'
+python3 - "$compare_mode" "${artifacts[@]}" <<'EOF'
 import json
+import os
 import sys
 
 REQUIRED_ROW_KEYS = ("workload", "threads", "sim_seconds", "wall_seconds")
+REGRESSION_TOLERANCE = 0.10  # >10% modelled-time growth fails
 failures = 0
 
 
@@ -40,21 +67,26 @@ def fail(path, msg):
     print(f"check_bench_artifacts: {path}: {msg}", file=sys.stderr)
 
 
-for path in sys.argv[1:]:
-    failures_before = failures
+def load(path):
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(path, f"unreadable or invalid JSON: {e}")
-        continue
+        return None
+
+
+def validate(path, doc):
+    """Structural checks; returns {(workload, threads): sim_seconds}."""
+    failures_before = failures
     for key in ("bench", "hardware_concurrency", "rows"):
         if key not in doc:
             fail(path, f"missing top-level key '{key}'")
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         fail(path, "'rows' must be a non-empty list")
-        continue
+        return None
+    sim_by_key = {}
     sim_by_workload = {}
     threads_by_workload = {}
     for i, row in enumerate(rows):
@@ -63,6 +95,11 @@ for path in sys.argv[1:]:
             fail(path, f"row {i} missing key(s): {', '.join(missing)}")
             continue
         w = row["workload"]
+        key = (w, row["threads"])
+        if key in sim_by_key:
+            fail(path, f"duplicate row for workload '{w}' "
+                       f"threads={row['threads']}")
+        sim_by_key[key] = row["sim_seconds"]
         threads_by_workload.setdefault(w, set()).add(row["threads"])
         sim_by_workload.setdefault(w, set()).add(row["sim_seconds"])
     for w, sims in sim_by_workload.items():
@@ -76,12 +113,59 @@ for path in sys.argv[1:]:
             fail(path, f"workload '{w}': no threads=1 baseline row")
         if len(threads) < 2:
             fail(path, f"workload '{w}': sweep has a single thread count")
-    if failures == failures_before:
-        n = len(rows)
-        hw = doc.get("hardware_concurrency")
-        print(f"check_bench_artifacts: {path}: OK "
-              f"({n} rows, {len(sim_by_workload)} workload(s), "
-              f"hardware_concurrency={hw})")
+    if failures != failures_before:
+        return None
+    n = len(rows)
+    hw = doc.get("hardware_concurrency")
+    print(f"check_bench_artifacts: {path}: OK "
+          f"({n} rows, {len(sim_by_workload)} workload(s), "
+          f"hardware_concurrency={hw})")
+    return sim_by_key
+
+
+def compare(path, candidate):
+    """Gates `candidate` against the committed baseline of the same name."""
+    baseline_path = os.path.basename(path)
+    if not os.path.exists(baseline_path):
+        fail(path, f"no committed baseline '{baseline_path}' at the repo "
+                   f"root to compare against")
+        return
+    if os.path.samefile(path, baseline_path):
+        fail(path, "candidate IS the committed baseline; generate the "
+                   "candidate into the build tree instead")
+        return
+    doc = load(baseline_path)
+    if doc is None:
+        return
+    baseline = validate(baseline_path, doc)
+    if baseline is None:
+        return
+    for (w, t), base_sim in sorted(baseline.items()):
+        if (w, t) not in candidate:
+            fail(path, f"workload '{w}' threads={t}: present in baseline "
+                       f"'{baseline_path}' but missing from the candidate")
+            continue
+        cand_sim = candidate[(w, t)]
+        if base_sim > 0 and cand_sim > base_sim * (1 + REGRESSION_TOLERANCE):
+            fail(path,
+                 f"workload '{w}' threads={t}: modelled time regressed "
+                 f"{cand_sim / base_sim - 1:+.1%} over the committed "
+                 f"baseline ({cand_sim} vs {base_sim}); regenerate "
+                 f"'{baseline_path}' in the same change if intentional")
+        else:
+            delta = (cand_sim / base_sim - 1) if base_sim > 0 else 0.0
+            print(f"check_bench_artifacts: {path}: '{w}' threads={t} "
+                  f"within baseline ({delta:+.1%})")
+
+
+compare_mode = sys.argv[1] == "1"
+for path in sys.argv[2:]:
+    doc = load(path)
+    if doc is None:
+        continue
+    sims = validate(path, doc)
+    if sims is not None and compare_mode:
+        compare(path, sims)
 
 sys.exit(1 if failures else 0)
 EOF
