@@ -41,11 +41,17 @@ lint() {
   echo "==== lint: pmc-lint determinism rules + clang-tidy ===="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DPMC_HARDENED_WERROR=ON
   cmake --build build -j "$JOBS" --target pmc-lint
-  # pmc-lint exits nonzero on any unsuppressed D1-D6 diagnostic; the JSON
-  # report lands next to the other CI artifacts.
+  # pmc-lint exits nonzero on any unsuppressed D1-D10 diagnostic (including
+  # D10 stale suppressions); the JSON report and the SARIF log land next to
+  # the other CI artifacts.
   ./build/tools/pmc-lint/pmc-lint \
     --compile-commands=build/compile_commands.json --root=. \
-    --json=build/LINT_report.json
+    --json=build/LINT_report.json --sarif=build/pmc-lint.sarif
+  # Both the fresh run's artifacts and the committed pmc-lint.sarif at the
+  # repo root must stay well-formed and free of unsuppressed findings
+  # (check_bench_artifacts.sh-style validation for the lint stage).
+  ./tools/check_lint_artifacts.sh build/pmc-lint.sarif build/LINT_report.json
+  ./tools/check_lint_artifacts.sh
   # clang-tidy is optional tooling (not baked into every image): run the
   # curated .clang-tidy profile when present, skip loudly when not. The
   # profile's WarningsAsErrors makes any bugprone/concurrency/performance

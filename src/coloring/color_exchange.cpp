@@ -8,6 +8,7 @@
 
 namespace pmc {
 
+// pmc-lint: schema(ColorRecord)
 void apply_color_records(const LocalGraph& lg, std::vector<Color>& color,
                          const BspMessage& msg,
                          std::vector<VertexId>* changed) {
@@ -31,6 +32,7 @@ void apply_color_records(const LocalGraph& lg, std::vector<Color>& color,
   PMC_CHECK(reader.done(), "trailing garbage after the last color record");
 }
 
+// pmc-lint: schema(ColorRecord)
 std::function<void(Rank, std::vector<std::byte>, std::int64_t)>
 lost_tracking_color_sender(LostColorSets& lost, bool faults_on,
                            BspEngine::RankCtx& ctx) {

@@ -120,6 +120,7 @@ struct D2RankState {
   FanoutStage stage{0};
 };
 
+// pmc-lint: schema(ColorRecord)
 void d2_apply_records(D2RankState& st, const BspMessage& msg) {
   if (msg.payload.empty()) return;
   FrameReader reader(msg.payload);
@@ -158,6 +159,7 @@ double d2_color_vertex(D2RankState& st, VertexId v, Color* chosen) {
 
 }  // namespace
 
+// pmc-lint: schema(ColorRecord)
 DistColoringResult color_distance2_distributed_native(
     const Graph& g, const Partition& p, const DistColoringOptions& options) {
   PMC_REQUIRE(options.superstep_size >= 1, "superstep size must be >= 1");

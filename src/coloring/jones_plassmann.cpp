@@ -25,6 +25,7 @@ struct JpRankState {
 
 }  // namespace
 
+// pmc-lint: schema(ColorRecord)
 JonesPlassmannResult color_jones_plassmann(
     const DistGraph& dist, const JonesPlassmannOptions& options) {
   WallTimer wall;

@@ -12,6 +12,7 @@
 
 namespace pmc {
 
+// pmc-lint: schema(ColorRecord)
 DistVerifyResult verify_coloring_distributed(const DistGraph& dist,
                                              const Coloring& c,
                                              const MachineModel& model,

@@ -354,10 +354,20 @@ void MatchProcess::encode(FrameWriter& w, RecordType type, VertexId a,
                           VertexId b) {
   w.begin_record();
   w.put_u8(static_cast<std::uint8_t>(type));
-  w.put_id(a);
-  // b is a graph neighbor of a (REQUEST target / mate), so the relative
-  // encoding stays short under the compact codec.
-  if (type != RecordType::kFailed) w.put_id_rel(b);
+  // Spelled out per kind so each record layout is checkable against its
+  // decoder in handle_record; kFailed carries no partner id.
+  switch (type) {
+    case RecordType::kRequest:
+    case RecordType::kSucceeded:
+      w.put_id(a);
+      // b is a graph neighbor of a (REQUEST target / mate), so the relative
+      // encoding stays short under the compact codec.
+      w.put_id_rel(b);
+      break;
+    case RecordType::kFailed:
+      w.put_id(a);
+      break;
+  }
 }
 
 void MatchProcess::flush(EventContext& ctx) {

@@ -12,6 +12,7 @@
 
 namespace pmc {
 
+// pmc-lint: schema(MateRecord)
 DistVerifyResult verify_matching_distributed(const DistGraph& dist,
                                              const Matching& m,
                                              const MachineModel& model,

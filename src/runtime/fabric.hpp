@@ -409,6 +409,7 @@ class FanoutStage {
 
   /// Stages one customized (vertex, color) record for dst
   /// (kCustomizedNeighbors / -All).
+  // pmc-lint: schema(ColorRecord)
   void stage(Rank dst, VertexId global, Color c) {
     auto& w = dest_payload_[static_cast<std::size_t>(dst)];
     if (w.empty()) touched_.push_back(dst);
@@ -419,6 +420,7 @@ class FanoutStage {
 
   /// Stages one (vertex, color) record of the shared union payload
   /// (kBroadcastUnion).
+  // pmc-lint: schema(ColorRecord)
   void stage_union(VertexId global, Color c) {
     union_payload_.begin_record();
     union_payload_.put_id(global);

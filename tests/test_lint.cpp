@@ -3,12 +3,20 @@
 // conforming one, the allow() suppression path must work (and demand a
 // justification), and the path-based rule scoping must carve out the
 // sanctioned homes (rng/timer for entropy, serialize for raw bytes).
+//
+// The v2 whole-program analysis gets the same treatment: the cross-TU
+// schema rule D8 (encoder/decoder symmetry per message kind or schema()
+// binding), the cost-accounting rule D9, the D10 stale-suppression audit,
+// D1–D7 propagation through one level of helper indirection, and the
+// SARIF / baseline-ratchet report plumbing.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -25,6 +33,19 @@ std::string fixture(const std::string& name) {
 
 std::vector<Diagnostic> lint_fixture(const std::string& name) {
   return pmc_lint::analyze_file(fixture(name), pmc_lint::all_rules());
+}
+
+/// Whole-program run over on-disk fixtures, every rule live (the fixtures
+/// do not live under src/, so path scoping would blank them out).
+pmc_lint::ProgramReport program_fixture(const std::vector<std::string>& names,
+                                        bool audit = true) {
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const auto& n : names) paths.push_back(fixture(n));
+  pmc_lint::ProgramOptions opts;
+  opts.all_rules = true;
+  opts.audit_suppressions = audit;
+  return pmc_lint::analyze_program_paths(paths, opts);
 }
 
 std::vector<Diagnostic> with_rule(const std::vector<Diagnostic>& diags,
@@ -258,6 +279,320 @@ TEST(LintScope, PathScopingChangesTheFindings) {
   EXPECT_TRUE(with_rule(in_graph, "D1").empty());
 }
 
+// ---- D8: encode/decode schema symmetry (cross-TU) ---------------------------
+
+TEST(LintD8, FiresOnSeededCrossTuOrderSwap) {
+  const auto report = program_fixture(
+      {"d8_pair_encoder.cpp", "d8_pair_decoder_swapped.cpp"});
+  const auto d8 = with_rule(report.diagnostics, "D8");
+  ASSERT_EQ(d8.size(), 1u);
+  EXPECT_FALSE(d8[0].suppressed);
+  // The finding lands on the decoder (the encoder sorts first as reference)
+  // and names both halves with their sequences.
+  EXPECT_NE(d8[0].file.find("d8_pair_decoder_swapped.cpp"),
+            std::string::npos);
+  EXPECT_NE(d8[0].message.find("apply_colors_swapped"), std::string::npos);
+  EXPECT_NE(d8[0].message.find("ship_color"), std::string::npos);
+  EXPECT_NE(d8[0].message.find("[color, id]"), std::string::npos);
+  EXPECT_NE(d8[0].message.find("[id, color]"), std::string::npos);
+  EXPECT_NE(d8[0].message.find("schema asymmetry"), std::string::npos);
+}
+
+TEST(LintD8, SilentOnSymmetricCrossTuPair) {
+  const auto report =
+      program_fixture({"d8_pair_encoder.cpp", "d8_pair_decoder.cpp"});
+  EXPECT_TRUE(with_rule(report.diagnostics, "D8").empty());
+  EXPECT_EQ(pmc_lint::failing_count(report), 0u);
+}
+
+TEST(LintD8, SuppressionNeedsAJustification) {
+  const auto report = program_fixture({"d8_suppressed.cpp"});
+  const auto d8 = with_rule(report.diagnostics, "D8");
+  ASSERT_EQ(d8.size(), 2u);
+  EXPECT_TRUE(d8[0].suppressed);
+  EXPECT_EQ(d8[0].justification,
+            "legacy v1 frames read color first; gone next release");
+  EXPECT_FALSE(d8[1].suppressed);
+  EXPECT_NE(d8[1].message.find("no justification"), std::string::npos);
+  // Both allow() comments matched a diagnostic, so the audit stays quiet.
+  EXPECT_TRUE(with_rule(report.diagnostics, "D10").empty());
+}
+
+TEST(LintD8, UnboundAccessorSequenceDemandsASchemaBinding) {
+  const std::vector<pmc_lint::SourceFile> srcs = {
+      {"src/matching/unbound.cpp",
+       "struct W { void put_id(long); };\n"
+       "void ship(W& w) { w.put_id(7); }\n"}};
+  const auto report = pmc_lint::analyze_program(srcs, {});
+  const auto d8 = with_rule(report.diagnostics, "D8");
+  ASSERT_EQ(d8.size(), 1u);
+  EXPECT_NE(d8[0].message.find("schema(Name)"), std::string::npos);
+}
+
+TEST(LintD8, U8OnlyTagDispatcherIsExempt) {
+  const std::vector<pmc_lint::SourceFile> srcs = {
+      {"src/matching/dispatch.cpp",
+       "struct R { unsigned char read_u8(); };\n"
+       "unsigned char route(R& r) { return r.read_u8(); }\n"}};
+  const auto report = pmc_lint::analyze_program(srcs, {});
+  EXPECT_TRUE(with_rule(report.diagnostics, "D8").empty());
+}
+
+TEST(LintD8, SchemaAnnotationBindsFunctionsAcrossTus) {
+  std::vector<pmc_lint::SourceFile> srcs = {
+      {"src/coloring/enc.cpp",
+       "struct W { void begin_record(); void put_id(long); "
+       "void put_color(int); };\n"
+       "// pmc-lint: schema(PairRecord)\n"
+       "void ship(W& w) { w.begin_record(); w.put_id(1); w.put_color(2); }\n"},
+      {"src/matching/dec.cpp",
+       "struct R { long read_id(); int read_color(); bool done(); };\n"
+       "void on_pair(long v, int c);\n"
+       "void on_done(bool ok);\n"
+       "// pmc-lint: schema(PairRecord)\n"
+       "void apply(R& r) {\n"
+       "  int c = r.read_color();\n"
+       "  long v = r.read_id();\n"
+       "  on_pair(v, c);\n"
+       "  on_done(r.done());\n"
+       "}\n"}};
+  const auto swapped = pmc_lint::analyze_program(srcs, {});
+  const auto d8 = with_rule(swapped.diagnostics, "D8");
+  ASSERT_EQ(d8.size(), 1u);
+  EXPECT_NE(d8[0].message.find("PairRecord"), std::string::npos);
+
+  // Matching read order: the same binding goes quiet.
+  srcs[1].contents =
+      "struct R { long read_id(); int read_color(); bool done(); };\n"
+      "void on_pair(long v, int c);\n"
+      "void on_done(bool ok);\n"
+      "// pmc-lint: schema(PairRecord)\n"
+      "void apply(R& r) {\n"
+      "  long v = r.read_id();\n"
+      "  int c = r.read_color();\n"
+      "  on_pair(v, c);\n"
+      "  on_done(r.done());\n"
+      "}\n";
+  const auto fixed = pmc_lint::analyze_program(srcs, {});
+  EXPECT_TRUE(with_rule(fixed.diagnostics, "D8").empty());
+  EXPECT_EQ(pmc_lint::failing_count(fixed), 0u);
+}
+
+// ---- D9: cost-accounting completeness ---------------------------------------
+
+TEST(LintD9, FiresOnDiscardDeadRecordAndLiveClockPricing) {
+  const auto report = program_fixture({"d9_violation.cpp"});
+  const auto d9 = with_rule(report.diagnostics, "D9");
+  ASSERT_EQ(d9.size(), 3u);
+  EXPECT_NE(d9[0].message.find("result discarded"), std::string::npos);
+  EXPECT_NE(d9[1].message.find("'t0' but never used"), std::string::npos);
+  EXPECT_NE(d9[2].message.find("live now() read"), std::string::npos);
+  EXPECT_NE(d9[2].message.find("alpha-beta"), std::string::npos);
+}
+
+TEST(LintD9, SilentOnSanctionedBeginSendIdioms) {
+  const auto report = program_fixture({"d9_clean.cpp"});
+  EXPECT_TRUE(with_rule(report.diagnostics, "D9").empty());
+  EXPECT_EQ(pmc_lint::failing_count(report), 0u);
+}
+
+TEST(LintD9, SuppressionNeedsAJustification) {
+  const auto report = program_fixture({"d9_suppressed.cpp"});
+  const auto d9 = with_rule(report.diagnostics, "D9");
+  ASSERT_EQ(d9.size(), 2u);
+  EXPECT_TRUE(d9[0].suppressed);
+  EXPECT_EQ(d9[0].justification, "capacity probe, intentionally unpriced");
+  EXPECT_FALSE(d9[1].suppressed);
+}
+
+TEST(LintD9, ForwarderCallSitesInheritThePricingCheck) {
+  const std::vector<pmc_lint::SourceFile> srcs = {
+      {"src/runtime/relay.cpp",
+       "struct F {\n"
+       "  double now(int);\n"
+       "  void post_send_at(int, int, const char*, long, double);\n"
+       "};\n"
+       "void relay_at(F& fabric, int src, int dst, const char* payload,\n"
+       "              double send_time) {\n"
+       "  fabric.post_send_at(src, dst, payload, 1, send_time);\n"
+       "}\n"
+       "void caller(F& fabric, int src, int dst, const char* payload) {\n"
+       "  relay_at(fabric, src, dst, payload, fabric.now(src));\n"
+       "}\n"}};
+  const auto report = pmc_lint::analyze_program(srcs, {});
+  const auto d9 = with_rule(report.diagnostics, "D9");
+  ASSERT_EQ(d9.size(), 1u);
+  EXPECT_NE(d9[0].message.find("relay_at"), std::string::npos);
+  EXPECT_NE(d9[0].message.find("one helper deep"), std::string::npos);
+}
+
+// ---- D10: stale-suppression audit -------------------------------------------
+
+TEST(LintD10, FiresOnStaleAllowAndStaleSchemaAnnotation) {
+  const auto report = program_fixture({"d10_violation.cpp"});
+  const auto d10 = with_rule(report.diagnostics, "D10");
+  ASSERT_EQ(d10.size(), 2u);
+  EXPECT_EQ(d10[0].line, 6);
+  EXPECT_NE(d10[0].message.find("stale suppression: allow(D1)"),
+            std::string::npos);
+  EXPECT_EQ(d10[1].line, 13);
+  EXPECT_NE(d10[1].message.find("stale schema annotation: schema(GhostRecord)"),
+            std::string::npos);
+}
+
+TEST(LintD10, SilentWhenAllowsAreConsumedAndSchemasBind) {
+  const auto report = program_fixture({"d10_clean.cpp"});
+  EXPECT_TRUE(with_rule(report.diagnostics, "D10").empty());
+  const auto d1 = with_rule(report.diagnostics, "D1");
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_TRUE(d1[0].suppressed);
+  EXPECT_EQ(pmc_lint::failing_count(report), 0u);
+}
+
+TEST(LintD10, ParkedLedgerEntrySuppressibleWithAllowD10) {
+  const auto report = program_fixture({"d10_suppressed.cpp"});
+  const auto d10 = with_rule(report.diagnostics, "D10");
+  ASSERT_EQ(d10.size(), 2u);
+  for (const auto& d : d10) {
+    EXPECT_TRUE(d.suppressed);
+    EXPECT_EQ(d.justification,
+              "ledger entry parked while the frontier migration lands");
+  }
+  EXPECT_EQ(pmc_lint::failing_count(report), 0u);
+}
+
+TEST(LintD10, AuditCanBeTurnedOff) {
+  const auto report =
+      program_fixture({"d10_violation.cpp"}, /*audit=*/false);
+  EXPECT_TRUE(with_rule(report.diagnostics, "D10").empty());
+}
+
+// ---- D1-D7 propagation through helper indirection ---------------------------
+
+TEST(LintPropagation, ScopeHiddenHelperTaintsLiveCallSitesOnly) {
+  // The helper's own file (src/graph) is outside D1's scope, so the hash-
+  // order loop hides there; the call from message-producing code inherits
+  // the finding, the call from another src/graph file does not.
+  const std::vector<pmc_lint::SourceFile> srcs = {
+      {"src/graph/bucket_sum.cpp",
+       "#include <unordered_map>\n"
+       "namespace pmc {\n"
+       "long bucket_sum(const std::unordered_map<int, long>& m) {\n"
+       "  long total = 0;\n"
+       "  for (const auto& [k, v] : m) total += v;\n"
+       "  return total;\n"
+       "}\n"
+       "}  // namespace pmc\n"},
+      {"src/matching/ship_totals.cpp",
+       "#include <unordered_map>\n"
+       "namespace pmc {\n"
+       "struct RankCtx { void send(int, long, long); };\n"
+       "void ship_totals(RankCtx& ctx,\n"
+       "                 const std::unordered_map<int, long>& m) {\n"
+       "  ctx.send(0, bucket_sum(m), 1);\n"
+       "}\n"
+       "}  // namespace pmc\n"},
+      {"src/graph/grand_total.cpp",
+       "#include <unordered_map>\n"
+       "namespace pmc {\n"
+       "long grand_total(const std::unordered_map<int, long>& m) {\n"
+       "  return bucket_sum(m);\n"
+       "}\n"
+       "}  // namespace pmc\n"}};
+  const auto report = pmc_lint::analyze_program(srcs, {});
+  const auto d1 = with_rule(report.diagnostics, "D1");
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1[0].file, "src/matching/ship_totals.cpp");
+  EXPECT_NE(d1[0].message.find("bucket_sum"), std::string::npos);
+  EXPECT_NE(d1[0].message.find("scope hides"), std::string::npos);
+}
+
+TEST(LintPropagation, EventPathHelperTaintsEventHandlingCallers) {
+  // post_send hides in a file D6 does not police; the handler file that
+  // calls the helper (and really touches EventContext) inherits the hit.
+  const std::vector<pmc_lint::SourceFile> srcs = {
+      {"src/runtime/fabric_util.cpp",
+       "struct CommFabric { void post_send(int, int, long); };\n"
+       "namespace pmc {\n"
+       "void blast(CommFabric& fabric, int dst, long bytes) {\n"
+       "  fabric.post_send(0, dst, bytes);\n"
+       "}\n"
+       "}  // namespace pmc\n"},
+      {"src/matching/handler.cpp",
+       "struct CommFabric;\n"
+       "struct EventContext { int rank; };\n"
+       "namespace pmc {\n"
+       "void on_msg(EventContext& ctx, CommFabric& fab, int dst, long n) {\n"
+       "  blast(fab, dst, n);\n"
+       "}\n"
+       "}  // namespace pmc\n"}};
+  const auto report = pmc_lint::analyze_program(srcs, {});
+  const auto d6 = with_rule(report.diagnostics, "D6");
+  ASSERT_EQ(d6.size(), 1u);
+  EXPECT_EQ(d6[0].file, "src/matching/handler.cpp");
+  EXPECT_NE(d6[0].message.find("blast"), std::string::npos);
+  EXPECT_NE(d6[0].message.find("D6 violation"), std::string::npos);
+}
+
+// ---- SARIF ------------------------------------------------------------------
+
+TEST(LintSarif, WellFormedRunWithRulesSuppressionsAndLevels) {
+  const auto report = program_fixture({"d1_suppressed.cpp"});
+  const std::string sarif = pmc_lint::to_sarif(report);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"pmc-lint\""), std::string::npos);
+  for (const char* id :
+       {"D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10"}) {
+    EXPECT_NE(sarif.find(std::string("{\"id\": \"") + id + "\""),
+              std::string::npos)
+        << "rule " << id << " missing from the driver";
+  }
+  // One justified suppression (note) and one unsuppressed finding (error).
+  EXPECT_NE(sarif.find("\"kind\": \"inSource\""), std::string::npos);
+  EXPECT_NE(sarif.find("order-independent integer sum"), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"note\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+}
+
+TEST(LintSarif, BaselinedFindingsCarryBaselineState) {
+  auto report = program_fixture({"d9_violation.cpp"});
+  std::set<std::string> baseline;
+  for (const auto& d : report.diagnostics) {
+    baseline.insert(pmc_lint::fingerprint(d));
+  }
+  pmc_lint::apply_baseline(report, baseline);
+  const std::string sarif = pmc_lint::to_sarif(report);
+  EXPECT_NE(sarif.find("\"baselineState\": \"unchanged\""),
+            std::string::npos);
+  EXPECT_EQ(sarif.find("\"level\": \"error\""), std::string::npos);
+}
+
+// ---- baseline ratchet -------------------------------------------------------
+
+TEST(LintBaseline, WriteLoadRoundTripRatchetsTheRun) {
+  auto report = program_fixture({"d9_violation.cpp"});
+  ASSERT_EQ(pmc_lint::failing_count(report), 3u);
+  const std::string path = testing::TempDir() + "pmc_lint_baseline.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << pmc_lint::write_baseline(report);
+  }
+  const auto baseline = pmc_lint::load_baseline(path);
+  EXPECT_EQ(baseline.size(), 3u);
+  pmc_lint::apply_baseline(report, baseline);
+  EXPECT_EQ(pmc_lint::failing_count(report), 0u);
+  for (const auto& d : report.diagnostics) EXPECT_TRUE(d.baselined);
+  std::remove(path.c_str());
+}
+
+TEST(LintBaseline, FingerprintNormalizesAbsoluteBuildPaths) {
+  Diagnostic d;
+  d.rule = "D9";
+  d.file = "/root/repo/src/matching/x.cpp";
+  d.line = 7;
+  EXPECT_EQ(pmc_lint::fingerprint(d), "D9|src/matching/x.cpp|7");
+}
+
 // ---- drivers ---------------------------------------------------------------
 
 TEST(LintDriver, CompileCommandsFilesParsesAndDeduplicates) {
@@ -277,6 +612,60 @@ TEST(LintDriver, CompileCommandsFilesParsesAndDeduplicates) {
   std::remove(path.c_str());
   EXPECT_THROW(pmc_lint::compile_commands_files("/nonexistent/cc.json"),
                std::runtime_error);
+}
+
+TEST(LintDriver, RelativeEntriesResolveAgainstDirectoryAndJsonParent) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::path(testing::TempDir()) / "pmc_lint_cc_rel";
+  fs::create_directories(base / "bld");
+  const std::string path = (base / "bld" / "compile_commands.json").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "[\n"
+        << "  {\"directory\": \".\", \"command\": \"c++ -c ../src/a.cpp\", "
+           "\"file\": \"../src/a.cpp\"},\n"
+        << "  {\"directory\": \"" << base.string()
+        << "\", \"file\": \"src/b.cpp\"},\n"
+        << "  {\"directory\": \"ignored\", \"file\": \"/abs/src/c.cpp\"}\n"
+        << "]\n";
+  }
+  const auto files = pmc_lint::compile_commands_files(path);
+  ASSERT_EQ(files.size(), 3u);
+  // Relative file against relative directory against the JSON's parent.
+  EXPECT_EQ(files[0], (base / "src" / "a.cpp").lexically_normal().string());
+  // Relative file against an absolute directory.
+  EXPECT_EQ(files[1], (base / "src" / "b.cpp").lexically_normal().string());
+  // Absolute file wins regardless of directory.
+  EXPECT_EQ(files[2], "/abs/src/c.cpp");
+  fs::remove_all(base);
+}
+
+TEST(LintDriver, MultiConfigSourcesDeduplicateAcrossDatabases) {
+  const std::string j1 = testing::TempDir() + "pmc_lint_cc1.json";
+  const std::string j2 = testing::TempDir() + "pmc_lint_cc2.json";
+  {
+    std::ofstream out(j1, std::ios::binary);
+    out << R"([
+      {"directory": "/b1", "file": "/r/src/a.cpp"},
+      {"directory": "/b1", "file": "/r/src/./b.cpp"}
+    ])";
+  }
+  {
+    std::ofstream out(j2, std::ios::binary);
+    out << R"([
+      {"directory": "/b2", "file": "/r/src/b.cpp"},
+      {"directory": "/b2", "file": "/r/src/c.cpp"}
+    ])";
+  }
+  const auto files = pmc_lint::compile_commands_sources({j1, j2});
+  // b.cpp appears in both databases (one spelling denormalized) but is
+  // linted once; order is first appearance.
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], "/r/src/a.cpp");
+  EXPECT_EQ(files[1], "/r/src/b.cpp");
+  EXPECT_EQ(files[2], "/r/src/c.cpp");
+  std::remove(j1.c_str());
+  std::remove(j2.c_str());
 }
 
 TEST(LintDriver, JsonReportCountsSuppressedAndUnsuppressed) {

@@ -1,0 +1,26 @@
+// Fixture: D8 cross-TU decoder half — reads WireMsg::kColorRec records in
+// the encoder's (id, color) order, so the pair with d8_pair_encoder.cpp is
+// symmetric. Scan fodder for the lint fixture suite, not compiled.
+#include <cstdint>
+
+enum class WireMsg : std::uint8_t { kColorRec = 1 };
+
+struct FrameReader {
+  std::uint8_t read_u8();
+  std::int64_t read_id();
+  std::int32_t read_color();
+  bool done();
+};
+
+void on_color(std::int64_t v, std::int32_t c);
+void on_done(bool ok);
+
+void apply_colors(FrameReader& r) {
+  const auto kind = static_cast<WireMsg>(r.read_u8());
+  if (kind == WireMsg::kColorRec) {
+    const std::int64_t v = r.read_id();
+    const std::int32_t c = r.read_color();
+    on_color(v, c);
+  }
+  on_done(r.done());
+}

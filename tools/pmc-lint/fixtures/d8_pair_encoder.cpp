@@ -1,0 +1,21 @@
+// Fixture: D8 cross-TU encoder half — ships WireMsg::kColorRec records as
+// (id, color) after the kind byte. Pair with d8_pair_decoder.cpp (clean) or
+// d8_pair_decoder_swapped.cpp (the seeded order swap). Scan fodder for the
+// lint fixture suite, not compiled.
+#include <cstdint>
+
+enum class WireMsg : std::uint8_t { kColorRec = 1 };
+
+struct FrameWriter {
+  void begin_record();
+  void put_u8(std::uint8_t);
+  void put_id(std::int64_t);
+  void put_color(std::int32_t);
+};
+
+void ship_color(FrameWriter& w, std::int64_t v, std::int32_t c) {
+  w.begin_record();
+  w.put_u8(static_cast<std::uint8_t>(WireMsg::kColorRec));
+  w.put_id(v);
+  w.put_color(c);
+}

@@ -1,0 +1,53 @@
+// Fixture: the D8 suppression path — a schema asymmetry covered by a
+// justified allow() must be reported as suppressed, and an allow() without
+// a justification must not count. Encoder and decoders share one file so
+// the fixture stands alone. Scan fodder for the lint suite, not compiled.
+#include <cstdint>
+
+enum class WireMsg : std::uint8_t { kColorRec = 1 };
+
+struct FrameWriter {
+  void begin_record();
+  void put_u8(std::uint8_t);
+  void put_id(std::int64_t);
+  void put_color(std::int32_t);
+};
+
+struct FrameReader {
+  std::uint8_t read_u8();
+  std::int64_t read_id();
+  std::int32_t read_color();
+  bool done();
+};
+
+void on_color(std::int64_t v, std::int32_t c);
+void on_done(bool ok);
+
+void ship_color(FrameWriter& w, std::int64_t v, std::int32_t c) {
+  w.begin_record();
+  w.put_u8(static_cast<std::uint8_t>(WireMsg::kColorRec));
+  w.put_id(v);
+  w.put_color(c);
+}
+
+void apply_legacy(FrameReader& r) {
+  // pmc-lint: allow(D8): legacy v1 frames read color first; gone next release
+  const auto kind = static_cast<WireMsg>(r.read_u8());
+  if (kind == WireMsg::kColorRec) {
+    const std::int32_t c = r.read_color();
+    const std::int64_t v = r.read_id();
+    on_color(v, c);
+  }
+  on_done(r.done());
+}
+
+void apply_sloppy(FrameReader& r) {
+  // pmc-lint: allow(D8)
+  const auto kind = static_cast<WireMsg>(r.read_u8());
+  if (kind == WireMsg::kColorRec) {
+    const std::int32_t c = r.read_color();
+    const std::int64_t v = r.read_id();
+    on_color(v, c);
+  }
+  on_done(r.done());
+}

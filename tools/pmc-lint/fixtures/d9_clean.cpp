@@ -1,0 +1,34 @@
+// Fixture: D9 must stay silent — every sanctioned begin_send idiom: the
+// result returned to the caller, recorded in a local that later prices the
+// post, and stored into a field (the deferred-record idiom). Scan fodder
+// for the lint fixture suite, not compiled.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Rank = std::int32_t;
+
+struct CommFabric {
+  double begin_send(Rank, Rank, std::size_t);
+  void post_send_at(Rank, Rank, std::vector<std::byte>, std::int64_t, double);
+};
+
+struct PendingSend {
+  double send_time;
+};
+
+double forward_overhead(CommFabric& fabric, Rank src, Rank dst,
+                        std::size_t bytes) {
+  return fabric.begin_send(src, dst, bytes);
+}
+
+void priced(CommFabric& fabric, Rank src, Rank dst,
+            std::vector<std::byte> payload) {
+  const double send_time = fabric.begin_send(src, dst, payload.size());
+  fabric.post_send_at(src, dst, std::move(payload), 1, send_time);
+}
+
+void deferred(CommFabric& fabric, PendingSend& slot, Rank src, Rank dst,
+              std::size_t bytes) {
+  slot.send_time = fabric.begin_send(src, dst, bytes);
+}

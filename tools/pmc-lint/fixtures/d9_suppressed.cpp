@@ -1,0 +1,21 @@
+// Fixture: the D9 suppression path — a discarded begin_send covered by a
+// justified allow() must be reported as suppressed, and an allow() without
+// a justification must not count. Scan fodder, not compiled.
+#include <cstddef>
+#include <cstdint>
+
+using Rank = std::int32_t;
+
+struct CommFabric {
+  double begin_send(Rank, Rank, std::size_t);
+};
+
+void warmup(CommFabric& fabric, Rank src, Rank dst, std::size_t bytes) {
+  // pmc-lint: allow(D9): capacity probe, intentionally unpriced
+  fabric.begin_send(src, dst, bytes);
+}
+
+void sloppy(CommFabric& fabric, Rank src, Rank dst, std::size_t bytes) {
+  // pmc-lint: allow(D9)
+  fabric.begin_send(src, dst, bytes);
+}

@@ -1,0 +1,27 @@
+// Fixture: D9 must fire three ways — a discarded begin_send(), a recorded
+// send time that is never used, and a post_send_at priced at a live now()
+// read. Scan fodder for the lint fixture suite, not compiled.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Rank = std::int32_t;
+
+struct CommFabric {
+  double begin_send(Rank, Rank, std::size_t);
+  double now(Rank);
+  void post_send_at(Rank, Rank, std::vector<std::byte>, std::int64_t, double);
+};
+
+void drop_overhead(CommFabric& fabric, Rank src, Rank dst, std::size_t bytes) {
+  fabric.begin_send(src, dst, bytes);
+}
+
+void dead_record(CommFabric& fabric, Rank src, Rank dst, std::size_t bytes) {
+  const double t0 = fabric.begin_send(src, dst, bytes);
+}
+
+void live_clock(CommFabric& fabric, Rank src, Rank dst,
+                std::vector<std::byte> payload) {
+  fabric.post_send_at(src, dst, std::move(payload), 1, fabric.now(src));
+}

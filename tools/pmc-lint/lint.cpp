@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -9,24 +10,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "internal.hpp"
+
 namespace pmc_lint {
+namespace internal {
 namespace {
-
-// ---- source view ----------------------------------------------------------
-
-/// One suppression comment: which rules it allows and the justification.
-struct Allow {
-  std::set<std::string> rules;
-  std::string justification;
-};
-
-/// The comment/string-stripped view of a translation unit plus the
-/// suppression comments found while stripping.
-struct SourceView {
-  std::string code;  ///< Same length/lines as the input; literals blanked.
-  /// Suppressions keyed by the line their comment starts on (1-based).
-  std::unordered_map<int, Allow> allows;
-};
 
 std::string trim(const std::string& s) {
   std::size_t b = 0, e = s.size();
@@ -35,30 +23,50 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
-/// Parses "pmc-lint: allow(D1,D2): reason" out of one comment's text.
-void parse_allow(const std::string& comment, int line, SourceView& view) {
+/// Parses "pmc-lint: allow(D1,D2): reason" or "pmc-lint: schema(Name)" out
+/// of one comment's text.
+void parse_marker(const std::string& comment, int line, SourceView& view) {
   const std::size_t tag = comment.find("pmc-lint:");
   if (tag == std::string::npos) return;
   std::size_t p = comment.find("allow(", tag);
-  if (p == std::string::npos) return;
-  p += 6;
-  const std::size_t close = comment.find(')', p);
-  if (close == std::string::npos) return;
-  Allow allow;
-  std::stringstream rules(comment.substr(p, close - p));
-  std::string rule;
-  while (std::getline(rules, rule, ',')) {
-    rule = trim(rule);
-    if (!rule.empty()) allow.rules.insert(rule);
+  if (p != std::string::npos) {
+    p += 6;
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) return;
+    Allow allow;
+    std::stringstream rules(comment.substr(p, close - p));
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule = trim(rule);
+      if (!rule.empty()) allow.rules.insert(rule);
+    }
+    std::string rest = trim(comment.substr(close + 1));
+    if (!rest.empty() && rest.front() == ':') rest = trim(rest.substr(1));
+    allow.justification = rest;
+    if (!allow.rules.empty()) view.allows[line] = allow;
+    return;
   }
-  std::string rest = trim(comment.substr(close + 1));
-  if (!rest.empty() && rest.front() == ':') rest = trim(rest.substr(1));
-  allow.justification = rest;
-  if (!allow.rules.empty()) view.allows[line] = allow;
+  p = comment.find("schema(", tag);
+  if (p != std::string::npos) {
+    p += 7;
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) return;
+    const std::string name = trim(comment.substr(p, close - p));
+    if (!name.empty()) view.schemas[line] = name;
+  }
 }
 
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
 /// Blanks comments and string/char literals (preserving newlines so line
-/// numbers survive) and records pmc-lint allow() comments.
+/// numbers survive) and records pmc-lint allow()/schema() comments.
 SourceView strip(const std::string& text) {
   SourceView view;
   view.code.reserve(text.size());
@@ -96,7 +104,7 @@ SourceView strip(const std::string& text) {
         break;
       case State::kLineComment:
         if (c == '\n') {
-          parse_allow(comment, comment_line, view);
+          parse_marker(comment, comment_line, view);
           state = State::kCode;
           view.code += '\n';
         } else {
@@ -106,7 +114,7 @@ SourceView strip(const std::string& text) {
         break;
       case State::kBlockComment:
         if (c == '*' && next == '/') {
-          parse_allow(comment, comment_line, view);
+          parse_marker(comment, comment_line, view);
           state = State::kCode;
           view.code += "  ";
           ++i;
@@ -141,24 +149,9 @@ SourceView strip(const std::string& text) {
     if (c == '\n') ++line;
   }
   if (state == State::kLineComment || state == State::kBlockComment) {
-    parse_allow(comment, comment_line, view);
+    parse_marker(comment, comment_line, view);
   }
   return view;
-}
-
-// ---- tokens ---------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool is_ident = false;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
 std::vector<Token> tokenize(const std::string& code) {
@@ -209,15 +202,52 @@ std::vector<Token> tokenize(const std::string& code) {
   return out;
 }
 
-// ---- rule engine ----------------------------------------------------------
+std::string normalize_path(const std::string& path) {
+  std::string p = path;
+  const std::size_t src = p.rfind("/src/");
+  if (src != std::string::npos) {
+    p = p.substr(src + 1);
+  } else if (p.rfind("./", 0) == 0) {
+    p = p.substr(2);
+  }
+  return p;
+}
+
+void apply_allows(Diagnostic& d,
+                  const std::unordered_map<int, Allow>& allows) {
+  // A well-formed allow() on the diagnostic's line or the line above it
+  // suppresses — but only with a justification. A matching comment without
+  // one is still recorded (allow_line) so the D10 audit does not call a
+  // malformed-but-matching comment stale on top of the unsuppressed finding.
+  for (const int l : {d.line, d.line - 1}) {
+    const auto it = allows.find(l);
+    if (it == allows.end()) continue;
+    if (it->second.rules.count(d.rule) == 0) continue;
+    d.allow_line = l;
+    if (it->second.justification.empty()) {
+      d.message += " [allow() found but has no justification]";
+      continue;
+    }
+    d.suppressed = true;
+    d.justification = it->second.justification;
+    break;
+  }
+}
+
+namespace {
+
+// ---- per-file rule engine --------------------------------------------------
 
 class Analyzer {
  public:
-  Analyzer(std::string path, const SourceView& view, const RuleScope& scope)
+  Analyzer(std::string path, const SourceView& view,
+           const std::vector<Token>& tokens, const RuleScope& scope,
+           bool content_gates)
       : path_(std::move(path)),
         scope_(scope),
+        content_gates_(content_gates),
         allows_(view.allows),
-        tokens_(tokenize(view.code)) {}
+        tokens_(tokens) {}
 
   std::vector<Diagnostic> run() {
     collect_declared_vars();
@@ -226,6 +256,10 @@ class Analyzer {
       if (t.text == "EventContext") mentions_event_context_ = true;
       if (t.text == "RankCtx") mentions_rank_ctx_ = true;
       if (mentions_event_context_ && mentions_rank_ctx_) break;
+    }
+    if (!content_gates_) {
+      mentions_event_context_ = true;
+      mentions_rank_ctx_ = true;
     }
     check_banned_calls();
     check_range_loops();
@@ -250,20 +284,7 @@ class Analyzer {
     d.file = path_;
     d.line = line;
     d.message = std::move(message);
-    // A well-formed allow() on the diagnostic's line or the line above it
-    // suppresses — but only with a justification.
-    for (const int l : {line, line - 1}) {
-      const auto it = allows_.find(l);
-      if (it == allows_.end()) continue;
-      if (it->second.rules.count(rule) == 0) continue;
-      if (it->second.justification.empty()) {
-        d.message += " [allow() found but has no justification]";
-        continue;
-      }
-      d.suppressed = true;
-      d.justification = it->second.justification;
-      break;
-    }
+    apply_allows(d, allows_);
     diags_.push_back(std::move(d));
   }
 
@@ -307,7 +328,8 @@ class Analyzer {
     }
   }
 
-  /// D2 (hidden entropy) and D3 (raw serialization).
+  /// D2 (hidden entropy), D3 (raw serialization), D6 (live-clock sends in
+  /// event-path code), D7 (raw inbox harvest in BSP driver code).
   void check_banned_calls() {
     for (std::size_t i = 0; i < tokens_.size(); ++i) {
       const Token& t = tokens_[i];
@@ -528,8 +550,9 @@ class Analyzer {
 
   std::string path_;
   RuleScope scope_;
-  std::unordered_map<int, Allow> allows_;
-  std::vector<Token> tokens_;
+  bool content_gates_;
+  const std::unordered_map<int, Allow>& allows_;
+  const std::vector<Token>& tokens_;
   std::unordered_set<std::string> unordered_vars_;
   std::unordered_set<std::string> float_vars_;
   /// D6/D7 content gates: each rule only polices files that actually touch
@@ -539,17 +562,19 @@ class Analyzer {
   std::vector<Diagnostic> diags_;
 };
 
-/// Repo-relative normalization: ".../repo/src/x.cpp" -> "src/x.cpp".
-std::string normalize(const std::string& path) {
-  std::string p = path;
-  const std::size_t src = p.rfind("/src/");
-  if (src != std::string::npos) {
-    p = p.substr(src + 1);
-  } else if (p.rfind("./", 0) == 0) {
-    p = p.substr(2);
-  }
-  return p;
+}  // namespace
+
+std::vector<Diagnostic> file_rules(const std::string& path,
+                                   const SourceView& view,
+                                   const std::vector<Token>& toks,
+                                   const RuleScope& scope,
+                                   bool content_gates) {
+  return Analyzer(path, view, toks, scope, content_gates).run();
 }
+
+}  // namespace internal
+
+namespace {
 
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
@@ -558,7 +583,7 @@ bool starts_with(const std::string& s, const std::string& prefix) {
 }  // namespace
 
 RuleScope scope_for_path(const std::string& path) {
-  const std::string p = normalize(path);
+  const std::string p = internal::normalize_path(path);
   RuleScope scope;  // d4 defaults on everywhere
   if (!starts_with(p, "src/")) return scope;
   scope.d5 = true;
@@ -577,54 +602,149 @@ RuleScope scope_for_path(const std::string& path) {
               starts_with(p, "src/coloring/") ||
               starts_with(p, "src/runtime/")) &&
              !starts_with(p, "src/runtime/bsp_engine.");
+  // The codec implements the accessors; the fabric implements the pricing.
+  // Each is the one place its rule's banned pattern is the point.
+  scope.d8 = !starts_with(p, "src/runtime/serialize.");
+  scope.d9 = !starts_with(p, "src/runtime/fabric.");
   return scope;
 }
 
 RuleScope all_rules() {
-  return RuleScope{true, true, true, true, true, true, true};
+  return RuleScope{true, true, true, true, true, true, true, true, true};
 }
 
 std::vector<Diagnostic> analyze_source(const std::string& path,
                                        const std::string& contents,
                                        const RuleScope& scope) {
-  const SourceView view = strip(contents);
-  return Analyzer(path, view, scope).run();
+  const internal::SourceView view = internal::strip(contents);
+  const std::vector<internal::Token> toks = internal::tokenize(view.code);
+  return internal::file_rules(path, view, toks, scope, /*content_gates=*/true);
 }
 
-std::vector<Diagnostic> analyze_file(const std::string& path,
-                                     const RuleScope& scope) {
+namespace {
+
+std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) throw std::runtime_error("pmc-lint: cannot read " + path);
   std::ostringstream contents;
   contents << in.rdbuf();
-  return analyze_source(path, contents.str(), scope);
+  return contents.str();
+}
+
+}  // namespace
+
+std::vector<Diagnostic> analyze_file(const std::string& path,
+                                     const RuleScope& scope) {
+  return analyze_source(path, slurp(path), scope);
 }
 
 std::vector<Diagnostic> analyze_file(const std::string& path) {
   return analyze_file(path, scope_for_path(path));
 }
 
-std::vector<std::string> compile_commands_files(const std::string& json_path) {
-  std::ifstream in(json_path, std::ios::binary);
-  if (!in.good()) {
-    throw std::runtime_error("pmc-lint: cannot read " + json_path);
+ProgramReport analyze_program_paths(const std::vector<std::string>& paths,
+                                    const ProgramOptions& opts) {
+  std::vector<SourceFile> sources;
+  sources.reserve(paths.size());
+  for (const std::string& p : paths) sources.push_back({p, slurp(p)});
+  return analyze_program(sources, opts);
+}
+
+namespace {
+
+/// One compile_commands entry's "directory" and "file" values, resolved to
+/// a normalized absolute-ish path. `base` is the JSON file's parent, the
+/// anchor for a relative "directory".
+std::string resolve_entry(const std::string& directory, const std::string& file,
+                          const std::string& base) {
+  namespace fs = std::filesystem;
+  fs::path f(file);
+  if (!f.is_absolute()) {
+    fs::path d(directory);
+    if (!d.is_absolute() && !base.empty()) d = fs::path(base) / d;
+    f = d / f;
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string text = ss.str();
+  return f.lexically_normal().string();
+}
+
+/// Extracts a "key": "value" string from one JSON object span. Tolerant:
+/// returns "" when absent.
+std::string object_string_value(const std::string& text, std::size_t begin,
+                                std::size_t end, const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  std::size_t pos = text.find(quoted, begin);
+  if (pos == std::string::npos || pos >= end) return "";
+  std::size_t q = text.find('"', text.find(':', pos + quoted.size()));
+  if (q == std::string::npos || q >= end) return "";
+  std::string value;
+  for (++q; q < end && text[q] != '"'; ++q) {
+    if (text[q] == '\\' && q + 1 < end) ++q;
+    value += text[q];
+  }
+  return value;
+}
+
+void collect_compile_commands(const std::string& json_path,
+                              std::vector<std::string>& files,
+                              std::unordered_set<std::string>& seen) {
+  const std::string text = slurp(json_path);
+  const std::string base =
+      std::filesystem::path(json_path).parent_path().string();
+  // Walk the top-level array's object spans, skipping braces inside string
+  // values (command lines routinely contain them).
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '"') {  // skip a string
+      for (++i; i < text.size() && text[i] != '"'; ++i) {
+        if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (text[i] != '{') {
+      ++i;
+      continue;
+    }
+    // Entry span: from this '{' to its matching '}' (entries do not nest).
+    std::size_t j = i + 1;
+    int depth = 1;
+    while (j < text.size() && depth > 0) {
+      if (text[j] == '"') {
+        for (++j; j < text.size() && text[j] != '"'; ++j) {
+          if (text[j] == '\\' && j + 1 < text.size()) ++j;
+        }
+      } else if (text[j] == '{') {
+        ++depth;
+      } else if (text[j] == '}') {
+        --depth;
+      }
+      ++j;
+    }
+    const std::string file = object_string_value(text, i, j, "file");
+    if (!file.empty()) {
+      const std::string dir = object_string_value(text, i, j, "directory");
+      const std::string resolved = resolve_entry(dir, file, base);
+      if (seen.insert(resolved).second) files.push_back(resolved);
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> compile_commands_files(const std::string& json_path) {
   std::vector<std::string> files;
   std::unordered_set<std::string> seen;
-  std::size_t pos = 0;
-  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
-    pos += 6;
-    std::size_t q = text.find('"', text.find(':', pos));
-    if (q == std::string::npos) break;
-    std::string value;
-    for (++q; q < text.size() && text[q] != '"'; ++q) {
-      if (text[q] == '\\' && q + 1 < text.size()) ++q;
-      value += text[q];
-    }
-    if (seen.insert(value).second) files.push_back(value);
+  collect_compile_commands(json_path, files, seen);
+  return files;
+}
+
+std::vector<std::string> compile_commands_sources(
+    const std::vector<std::string>& json_paths) {
+  std::vector<std::string> files;
+  std::unordered_set<std::string> seen;
+  for (const std::string& p : json_paths) {
+    collect_compile_commands(p, files, seen);
   }
   return files;
 }
@@ -647,26 +767,82 @@ std::string json_escape(const std::string& s) {
 
 std::string to_json(const std::vector<Diagnostic>& diags,
                     std::size_t files_scanned) {
-  std::size_t suppressed = 0;
-  for (const auto& d : diags) suppressed += d.suppressed ? 1 : 0;
+  std::size_t suppressed = 0, baselined = 0;
+  for (const auto& d : diags) {
+    suppressed += d.suppressed ? 1 : 0;
+    baselined += (!d.suppressed && d.baselined) ? 1 : 0;
+  }
   std::ostringstream os;
-  os << "{\n  \"tool\": \"pmc-lint\",\n  \"version\": 1,\n"
+  os << "{\n  \"tool\": \"pmc-lint\",\n  \"version\": 2,\n"
      << "  \"files_scanned\": " << files_scanned << ",\n"
      << "  \"total\": " << diags.size() << ",\n"
      << "  \"suppressed\": " << suppressed << ",\n"
-     << "  \"unsuppressed\": " << diags.size() - suppressed << ",\n"
+     << "  \"baselined\": " << baselined << ",\n"
+     << "  \"unsuppressed\": " << diags.size() - suppressed - baselined
+     << ",\n"
      << "  \"diagnostics\": [";
   for (std::size_t i = 0; i < diags.size(); ++i) {
     const Diagnostic& d = diags[i];
     os << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << json_escape(d.rule)
        << "\", \"file\": \"" << json_escape(d.file)
        << "\", \"line\": " << d.line << ", \"suppressed\": "
-       << (d.suppressed ? "true" : "false") << ", \"justification\": \""
+       << (d.suppressed ? "true" : "false") << ", \"baselined\": "
+       << (d.baselined ? "true" : "false") << ", \"justification\": \""
        << json_escape(d.justification) << "\", \"message\": \""
        << json_escape(d.message) << "\"}";
   }
   os << "\n  ]\n}\n";
   return os.str();
+}
+
+std::string fingerprint(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.rule << '|' << internal::normalize_path(d.file) << '|' << d.line;
+  return os.str();
+}
+
+std::set<std::string> load_baseline(const std::string& path) {
+  std::istringstream in(slurp(path));
+  std::set<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::size_t b = 0, e = line.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+    if (e > b) out.insert(line.substr(b, e - b));
+  }
+  return out;
+}
+
+std::string write_baseline(const ProgramReport& report) {
+  std::set<std::string> fps;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!d.suppressed) fps.insert(fingerprint(d));
+  }
+  std::ostringstream os;
+  os << "# pmc-lint baseline: known findings tolerated by --baseline runs.\n"
+     << "# Regenerate with --write-baseline after burning entries down.\n";
+  for (const std::string& fp : fps) os << fp << '\n';
+  return os.str();
+}
+
+void apply_baseline(ProgramReport& report,
+                    const std::set<std::string>& baseline) {
+  for (Diagnostic& d : report.diagnostics) {
+    if (!d.suppressed && baseline.count(fingerprint(d)) != 0) {
+      d.baselined = true;
+    }
+  }
+}
+
+std::size_t failing_count(const ProgramReport& report) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!d.suppressed && !d.baselined) ++n;
+  }
+  return n;
 }
 
 }  // namespace pmc_lint

@@ -1,6 +1,6 @@
 // pmc-lint — the project's determinism & protocol static-analysis pass.
 //
-// A token/AST-lite scanner over the C++ sources that enforces invariants the
+// A token/AST-lite analyzer over the C++ sources that enforces invariants the
 // runtime's reproducibility guarantees rest on (DESIGN.md §7). It is not a
 // compiler: rules are implemented over a comment/string-stripped token view
 // of each translation unit, tuned to this codebase's idiom, and every
@@ -10,6 +10,14 @@
 //
 // on the diagnostic's line or the line directly above it. A suppression
 // without a justification text does not count.
+//
+// v2 runs in two passes. Pass 1 indexes every function definition in the
+// scanned sources (name, file:line, calls made, typed-accessor sequences,
+// message-kind constants). Pass 2 runs the per-file rules D1-D7, then the
+// whole-program rules D8-D10 over the index, and finally lets D1-D7
+// propagate through one level of helper indirection via the call graph
+// (a helper whose own file hides a banned pattern from its scope taints
+// every call site where the rule is live).
 //
 // Rules (scopes are path predicates relative to the repo root):
 //
@@ -45,8 +53,28 @@
 //       arguments) inside a run_ranks_snapshot phase, where the engine
 //       resolves deliveries sequentially before compute fans out. Files
 //       that never mention RankCtx are out of scope.
+//   D8  encode/decode schema symmetry (cross-TU, src/ minus serialize.*):
+//       for each message kind, every decoder's typed read_* sequence must
+//       mirror every encoder's put_* sequence in type and order. Message
+//       kinds are enumerators of enums named *Record*/*Kind*/*Tag*/*Msg*
+//       and constexpr constants named k*Record/k*Tag/k*Msg; functions whose
+//       accessor sequences are not tied to a kind bind to a named schema
+//       with `// pmc-lint: schema(Name)` and are checked against every
+//       other function bound to the same name.
+//   D9  cost-accounting completeness (src/ minus runtime/fabric.*, the
+//       sanctioned charging layer): a begin_send() result must be returned,
+//       recorded in a field, passed on, or reach a later use — and every
+//       post_send_at() must be priced at a begin_send-derived time (a
+//       recorded *time* field/parameter), never at a live now() read or a
+//       constant. Violations are sends the CommStats/α–β cost model never
+//       sees.
+//   D10 stale-suppression audit (whole run): an allow() comment that no
+//       longer suppresses any diagnostic — and a schema() annotation bound
+//       to a function with no accessor calls — fails the build, keeping the
+//       suppression ledger honest.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,15 +83,23 @@ namespace pmc_lint {
 /// One finding. `suppressed` is true when a well-formed allow() comment with
 /// a justification covers the line.
 struct Diagnostic {
-  std::string rule;     ///< "D1".."D7".
+  std::string rule;     ///< "D1".."D10".
   std::string file;     ///< Path as given to analyze_file.
   int line = 0;         ///< 1-based.
   std::string message;  ///< Human-readable explanation.
   bool suppressed = false;
   std::string justification;  ///< allow() comment text when suppressed.
+  /// Line of the allow() comment that matched this diagnostic's rule (even
+  /// when rejected for a missing justification); 0 when none did. The D10
+  /// audit reads consumption off this field.
+  int allow_line = 0;
+  /// True when a --baseline file lists this finding (ratchet mode): it is
+  /// reported but does not fail the run.
+  bool baselined = false;
 };
 
-/// Which rule families apply to a file, derived from its path.
+/// Which rule families apply to a file, derived from its path. D10 is a
+/// run-level audit, not a per-file rule, so it has no entry here.
 struct RuleScope {
   bool d1 = false;  ///< Message-producing code (matching/coloring/runtime).
   bool d2 = false;  ///< Everything except the entropy allowlist.
@@ -72,6 +108,8 @@ struct RuleScope {
   bool d5 = false;  ///< All of src/.
   bool d6 = false;  ///< Event-path code (event engine, matching, coloring).
   bool d7 = false;  ///< BSP driver code (matching/coloring/runtime sans engine).
+  bool d8 = false;  ///< Protocol schema symmetry (src/ sans serialize.*).
+  bool d9 = false;  ///< Cost-accounting completeness (src/ sans fabric.*).
 };
 
 /// Scope for a path as the CI lint run uses it: `path` is normalized to the
@@ -82,8 +120,10 @@ struct RuleScope {
 /// can be exercised regardless of where the fixture file lives.
 [[nodiscard]] RuleScope all_rules();
 
-/// Runs every in-scope rule over one file's contents. `path` is used for
-/// diagnostics only; scoping is the caller's job (scope_for_path).
+/// Runs every in-scope *per-file* rule (D1-D7) over one file's contents.
+/// `path` is used for diagnostics only; scoping is the caller's job
+/// (scope_for_path). The cross-TU rules D8-D10 and helper propagation need
+/// the whole-program view: use analyze_program.
 [[nodiscard]] std::vector<Diagnostic> analyze_source(
     const std::string& path, const std::string& contents,
     const RuleScope& scope);
@@ -94,14 +134,85 @@ struct RuleScope {
 [[nodiscard]] std::vector<Diagnostic> analyze_file(const std::string& path,
                                                    const RuleScope& scope);
 
-/// Extracts the "file" entries of a compile_commands.json, deduplicated, in
-/// first-appearance order. Tolerant of formatting; throws on unreadable
-/// input.
+// ---- whole-program analysis ------------------------------------------------
+
+/// One translation unit handed to analyze_program. `path` drives scoping
+/// (scope_for_path) and diagnostics; it does not need to exist on disk, so
+/// tests can fabricate src/-shaped paths for in-memory sources.
+struct SourceFile {
+  std::string path;
+  std::string contents;
+};
+
+struct ProgramOptions {
+  /// Every rule on for every file (fixture mode) instead of scope_for_path.
+  bool all_rules = false;
+  /// Run the D10 stale-suppression audit (on for CI; fixture tests that
+  /// deliberately carry non-matching allows turn it off).
+  bool audit_suppressions = true;
+};
+
+struct ProgramReport {
+  std::vector<Diagnostic> diagnostics;  ///< Sorted by file, line, rule.
+  std::size_t files_scanned = 0;
+};
+
+/// The two-pass analysis: per-file rules, then the cross-TU rules over the
+/// whole-program index (D8 schema symmetry, D9 cost accounting, one-level
+/// helper propagation for D1-D7), then the D10 suppression audit.
+[[nodiscard]] ProgramReport analyze_program(
+    const std::vector<SourceFile>& sources, const ProgramOptions& opts);
+
+/// analyze_program over on-disk files (throws std::runtime_error when one
+/// is unreadable).
+[[nodiscard]] ProgramReport analyze_program_paths(
+    const std::vector<std::string>& paths, const ProgramOptions& opts);
+
+// ---- compile_commands ------------------------------------------------------
+
+/// Extracts the source files of a compile_commands.json, deduplicated, in
+/// first-appearance order. Relative "file" entries are resolved against the
+/// entry's "directory"; a relative "directory" is resolved against the JSON
+/// file's own parent directory. Paths are lexically normalized so the same
+/// source listed under multiple build configs collapses to one entry.
+/// Tolerant of formatting; throws on unreadable input.
 [[nodiscard]] std::vector<std::string> compile_commands_files(
     const std::string& json_path);
+
+/// Union of compile_commands_files over several databases (build/,
+/// build-asan/, build-tsan/, ...), deduplicated across all of them.
+[[nodiscard]] std::vector<std::string> compile_commands_sources(
+    const std::vector<std::string>& json_paths);
+
+// ---- reports & baseline ----------------------------------------------------
 
 /// Serializes a run's findings as the machine-readable JSON report.
 [[nodiscard]] std::string to_json(const std::vector<Diagnostic>& diags,
                                   std::size_t files_scanned);
+
+/// Serializes a run as a SARIF 2.1.0 log (one run, tool driver "pmc-lint",
+/// suppressed findings carry an inSource suppression object, baselined ones
+/// baselineState "unchanged").
+[[nodiscard]] std::string to_sarif(const ProgramReport& report);
+
+/// Stable identity of a finding for the --baseline ratchet:
+/// "rule|normalized-file|line".
+[[nodiscard]] std::string fingerprint(const Diagnostic& d);
+
+/// One fingerprint per line; '#' comments and blank lines ignored. Throws
+/// on unreadable input.
+[[nodiscard]] std::set<std::string> load_baseline(const std::string& path);
+
+/// The baseline file content for a report: the fingerprints of its
+/// unsuppressed findings, sorted, one per line.
+[[nodiscard]] std::string write_baseline(const ProgramReport& report);
+
+/// Marks every unsuppressed diagnostic whose fingerprint the baseline lists
+/// as `baselined` (reported, but not a failure).
+void apply_baseline(ProgramReport& report,
+                    const std::set<std::string>& baseline);
+
+/// Unsuppressed, non-baselined findings — the run fails when nonzero.
+[[nodiscard]] std::size_t failing_count(const ProgramReport& report);
 
 }  // namespace pmc_lint

@@ -1,16 +1,27 @@
 // pmc-lint CLI.
 //
-//   pmc-lint --compile-commands=build/compile_commands.json [--json=PATH]
+//   pmc-lint --compile-commands=build/compile_commands.json
+//            [--compile-commands=build-asan/compile_commands.json ...]
+//            [--json[=PATH]] [--sarif[=PATH]]
+//            [--baseline=PATH | --write-baseline=PATH]
 //   pmc-lint [--all-rules] file.cpp [file2.cpp ...]
 //
 // With --compile-commands the tool lints every src/ translation unit the
 // build knows about, plus the headers under src/ (headers never appear in
 // compile_commands but hold template code — Bundler::flush lived in one).
-// Explicit file arguments are linted as given; --all-rules overrides the
-// path-based scoping (the fixture suite's mode).
+// Several databases may be given (build/, build-asan/, build-tsan/); a
+// source listed by more than one is linted once. Explicit file arguments
+// are linted as given; --all-rules overrides the path-based scoping (the
+// fixture suite's mode).
 //
-// Exit status: 0 = clean (suppressed findings are fine), 1 = at least one
-// unsuppressed diagnostic, 2 = usage or I/O error.
+// Every run is whole-program: the cross-TU rules D8/D9 and the D10
+// stale-suppression audit see all inputs at once (--no-suppression-audit
+// turns D10 off). --baseline ratchets: findings listed in the baseline
+// file are reported but do not fail the run; --write-baseline freezes the
+// current findings into such a file.
+//
+// Exit status: 0 = clean (suppressed/baselined findings are fine), 1 = at
+// least one failing diagnostic, 2 = usage or I/O error.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -23,8 +34,10 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: pmc-lint [--compile-commands=PATH] [--root=DIR] "
-               "[--json[=PATH]] [--all-rules] [files...]\n";
+  std::cerr << "usage: pmc-lint [--compile-commands=PATH ...] [--root=DIR] "
+               "[--json[=PATH]] [--sarif[=PATH]] [--baseline=PATH] "
+               "[--write-baseline=PATH] [--no-suppression-audit] "
+               "[--all-rules] [files...]\n";
   return 2;
 }
 
@@ -44,20 +57,31 @@ std::vector<std::string> src_headers(const std::string& root) {
   return out;
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    std::cerr << "pmc-lint: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string compile_commands;
+  std::vector<std::string> compile_commands;
   std::string root = ".";
-  std::string json_path;
-  bool json = false;
+  std::string json_path, sarif_path, baseline_path, write_baseline_path;
+  bool json = false, sarif = false;
   bool all_rules = false;
+  bool audit = true;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--compile-commands=", 0) == 0) {
-      compile_commands = arg.substr(19);
+      compile_commands.push_back(arg.substr(19));
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
     } else if (arg == "--json") {
@@ -65,6 +89,17 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
       json_path = arg.substr(7);
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif = true;
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+    } else if (arg == "--no-suppression-audit") {
+      audit = false;
     } else if (arg == "--all-rules") {
       all_rules = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -82,7 +117,7 @@ int main(int argc, char** argv) {
   try {
     if (!compile_commands.empty()) {
       for (const std::string& f :
-           pmc_lint::compile_commands_files(compile_commands)) {
+           pmc_lint::compile_commands_sources(compile_commands)) {
         // The build also compiles tests/bench/examples and third-party
         // fixtures; the determinism contract binds to the library tree.
         if (f.find("/src/") != std::string::npos ||
@@ -95,41 +130,60 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::vector<pmc_lint::Diagnostic> diags;
-    for (const std::string& f : files) {
-      const auto scope =
-          all_rules ? pmc_lint::all_rules() : pmc_lint::scope_for_path(f);
-      auto d = pmc_lint::analyze_file(f, scope);
-      diags.insert(diags.end(), d.begin(), d.end());
-    }
+    pmc_lint::ProgramOptions opts;
+    opts.all_rules = all_rules;
+    opts.audit_suppressions = audit;
+    pmc_lint::ProgramReport report =
+        pmc_lint::analyze_program_paths(files, opts);
 
-    std::size_t unsuppressed = 0;
-    for (const auto& d : diags) {
-      if (d.suppressed) continue;
-      ++unsuppressed;
-      std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
-                << d.message << "\n";
+    if (!baseline_path.empty()) {
+      pmc_lint::apply_baseline(report,
+                               pmc_lint::load_baseline(baseline_path));
     }
-    std::size_t suppressed = diags.size() - unsuppressed;
-
-    if (json) {
-      const std::string report = pmc_lint::to_json(diags, files.size());
-      if (json_path.empty()) {
-        std::cout << report;
-      } else {
-        std::ofstream out(json_path, std::ios::binary);
-        if (!out.good()) {
-          std::cerr << "pmc-lint: cannot write " << json_path << "\n";
-          return 2;
-        }
-        out << report;
+    if (!write_baseline_path.empty()) {
+      if (!write_file(write_baseline_path,
+                      pmc_lint::write_baseline(report))) {
+        return 2;
       }
     }
 
-    std::cout << "pmc-lint: " << files.size() << " files, "
-              << unsuppressed << " unsuppressed, " << suppressed
-              << " suppressed diagnostic(s)\n";
-    return unsuppressed == 0 ? 0 : 1;
+    std::size_t suppressed = 0, baselined = 0;
+    for (const auto& d : report.diagnostics) {
+      if (d.suppressed) {
+        ++suppressed;
+        continue;
+      }
+      if (d.baselined) {
+        ++baselined;
+        continue;
+      }
+      std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+                << d.message << "\n";
+    }
+    const std::size_t failing = pmc_lint::failing_count(report);
+
+    if (json) {
+      const std::string text =
+          pmc_lint::to_json(report.diagnostics, report.files_scanned);
+      if (json_path.empty()) {
+        std::cout << text;
+      } else if (!write_file(json_path, text)) {
+        return 2;
+      }
+    }
+    if (sarif) {
+      const std::string text = pmc_lint::to_sarif(report);
+      if (sarif_path.empty()) {
+        std::cout << text;
+      } else if (!write_file(sarif_path, text)) {
+        return 2;
+      }
+    }
+
+    std::cout << "pmc-lint: " << report.files_scanned << " files, "
+              << failing << " failing, " << baselined << " baselined, "
+              << suppressed << " suppressed diagnostic(s)\n";
+    return failing == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
